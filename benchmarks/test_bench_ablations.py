@@ -1,0 +1,66 @@
+"""Benchmark: ablation studies (baseline comparison, dataset size, feature sets)."""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+from repro.experiments.runner import format_table
+
+
+def test_bench_baseline_comparison(benchmark, warm_context):
+    rows = benchmark.pedantic(
+        ablations.run_baseline_comparison,
+        args=(warm_context,),
+        kwargs={"invocations_per_measurement": 15},
+        rounds=1,
+        iterations=1,
+    )
+    printable = [
+        {
+            "approach": row.approach,
+            "optimal_%": row.optimal_rate_percent,
+            "top2_%": row.top2_rate_percent,
+            "measurements_per_function": row.mean_measurements_per_function,
+        }
+        for row in rows
+    ]
+    print()
+    print(format_table(printable, "Ablation - Sizeless vs measurement-based baselines (t = 0.75)"))
+
+    by_name = {row.approach: row for row in rows}
+    assert by_name["sizeless"].mean_measurements_per_function == 0.0
+    assert by_name["power_tuning"].mean_measurements_per_function == 6.0
+    assert by_name["cose"].mean_measurements_per_function <= 3.0
+    # Power tuning observes the truth, so it should be the strongest selector.
+    assert by_name["power_tuning"].optimal_rate_percent >= by_name["sizeless"].optimal_rate_percent - 10.0
+    # Sizeless should remain competitive with the sparse-measurement baselines.
+    assert by_name["sizeless"].top2_rate_percent >= 50.0
+
+
+def test_bench_dataset_size_sensitivity(benchmark, warm_context):
+    curve = benchmark.pedantic(
+        ablations.run_dataset_size_sensitivity,
+        args=(warm_context,),
+        kwargs={"fractions": (0.3, 1.0)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [{"n_functions": size, **metrics} for size, metrics in sorted(curve.items())]
+    print()
+    print(format_table(rows, "Ablation - accuracy vs training-set size"))
+
+    sizes = sorted(curve)
+    # More training functions should not hurt accuracy.
+    assert curve[sizes[-1]]["mape"] <= curve[sizes[0]]["mape"] * 1.25
+
+
+def test_bench_feature_set_ablation(benchmark, warm_context):
+    comparison = benchmark.pedantic(
+        ablations.run_feature_set_ablation, args=(warm_context,), rounds=1, iterations=1
+    )
+    rows = [{"feature_set": name, **metrics} for name, metrics in comparison.items()]
+    print()
+    print(format_table(rows, "Ablation - feature-set comparison"))
+
+    assert set(comparison) == {"f0_all_means", "f4_default", "extended"}
+    # The compact F4 set must be competitive with using all 25 means.
+    assert comparison["f4_default"]["mape"] <= comparison["f0_all_means"]["mape"] * 1.5

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 1 (motivating example).
+
+Prints execution time and cost per memory size for the four motivating
+functions and checks the qualitative shape reported in paper Section 2.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure1_motivation
+from repro.experiments.runner import format_table
+
+
+def test_bench_figure1_motivation(benchmark):
+    result = benchmark.pedantic(
+        figure1_motivation.run, kwargs={"invocations_per_size": 20}, rounds=1, iterations=1
+    )
+    print()
+    print(format_table(result.rows, "Figure 1 - execution time and cost vs memory size"))
+    print(f"shape checks: {result.observations}")
+
+    assert result.observations["invert_matrix_scales"]
+    assert result.observations["prime_numbers_scales"]
+    assert result.observations["api_call_cost_explodes"]
+    assert result.observations["dynamodb_cost_increases"]

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 3 (metric stability vs experiment duration)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure3_stability
+from repro.experiments.runner import format_table
+
+
+def test_bench_figure3_stability(benchmark):
+    result = benchmark.pedantic(
+        figure3_stability.run,
+        kwargs={"n_functions": 10, "max_invocations": 240},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {"duration_s": duration, "unstable_pairs": count}
+        for duration, count in result.unstable_counts().items()
+    ]
+    print()
+    print(format_table(rows, "Figure 3 - unstable (function, metric) pairs per duration"))
+    print(f"recommended experiment duration: {result.recommended_duration_s:.0f} s (paper: 600 s)")
+
+    counts = result.unstable_counts()
+    durations = sorted(counts)
+    # Stability improves (or stays equal) as the experiment gets longer, and
+    # the longest window is at least as stable as the shortest one.
+    assert counts[durations[-1]] <= counts[durations[0]]

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 4 (sequential forward feature selection)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure4_feature_selection
+from repro.experiments.runner import format_table
+
+
+def test_bench_figure4_feature_selection(benchmark, warm_context):
+    result = benchmark.pedantic(
+        figure4_feature_selection.run, args=(warm_context,), rounds=1, iterations=1
+    )
+    rows = []
+    for round_index, curve in result.curves().items():
+        for n_features, mse in curve:
+            rows.append({"round": round_index, "n_features": n_features, "cv_mse": mse})
+    print()
+    print(format_table(rows, "Figure 4 - cross-validated MSE vs number of features"))
+    print(f"final feature set ({len(result.final_features)}): {result.final_features}")
+    print(f"monitored metrics required: {result.required_metrics} (paper: 6 metrics)")
+
+    assert len(result.rounds) == 3
+    # Within each round, the best score with several features is no worse than
+    # the single best feature alone (adding features helps or is neutral).
+    for round_ in result.rounds:
+        assert min(round_.scores) <= round_.scores[0] + 1e-9
+    # The selection converges onto a compact metric set.
+    assert 1 <= len(result.required_metrics) <= 10

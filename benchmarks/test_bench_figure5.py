@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 5 (partial dependence of the top features)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure5_partial_dependence
+from repro.experiments.runner import format_table
+
+
+def test_bench_figure5_partial_dependence(benchmark, warm_context):
+    result = benchmark.pedantic(
+        figure5_partial_dependence.run,
+        args=(warm_context,),
+        kwargs={"base_memory_mb": 128},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {"feature": name, "importance": importance}
+        for name, importance in result.importances.items()
+    ]
+    print()
+    print(format_table(rows, "Figure 5 - feature importances (base size 128 MB)"))
+    print(f"paper observation checks: {result.observations}")
+
+    assert len(result.top_features) == 6
+    assert all(importance >= 0.0 for importance in result.importances.values())
+    # CPU-utilisation features must carry non-trivial importance (the paper's
+    # headline explanation of the model).
+    cpu_importance = max(
+        result.importances.get("user_cpu_time_per_second", 0.0),
+        result.importances.get("system_cpu_time_per_second", 0.0),
+        result.importances.get("user_cpu_time_mean", 0.0),
+    )
+    assert cpu_importance > 0.0

@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Figure 6 (measured vs predicted execution times)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure6_predictions
+from repro.experiments.runner import format_table
+
+
+def test_bench_figure6_predictions(benchmark, warm_context):
+    result = benchmark.pedantic(
+        figure6_predictions.run,
+        args=(warm_context,),
+        kwargs={"base_sizes_mb": (128, 256, 512, 1024, 2048, 3008)},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for entry in result.paper_subset():
+        for size in sorted(entry.measured_ms):
+            rows.append(
+                {
+                    "function": f"{entry.application} - {entry.function}",
+                    "memory_mb": size,
+                    "measured_ms": entry.measured_ms[size],
+                    "predicted_from_256_ms": entry.predicted_ms[256][size],
+                }
+            )
+    print()
+    print(format_table(rows, "Figure 6 - measured vs predicted execution time (paper's 8 functions)"))
+
+    assert len(result.entries) == 27
+    # Predictions from the preferred base size track the measured scaling shape:
+    # the predicted 128 MB time exceeds the predicted 3008 MB time whenever the
+    # measured times do, for the large majority of functions.
+    agreement = []
+    errors = []
+    for entry in result.entries:
+        measured_faster_at_top = entry.measured_ms[128] > entry.measured_ms[3008]
+        predicted = entry.predicted_ms[256]
+        predicted_faster_at_top = predicted[128] > predicted[3008]
+        agreement.append(measured_faster_at_top == predicted_faster_at_top)
+        errors.extend(entry.relative_error(256).values())
+    assert np.mean(agreement) >= 0.8
+    assert float(np.mean(errors)) < 0.6

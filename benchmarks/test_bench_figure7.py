@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 7 (rank of the selected memory size)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure7_selection_rank
+from repro.experiments.runner import format_table
+
+
+def test_bench_figure7_selection_rank(benchmark, warm_context):
+    result = benchmark.pedantic(
+        figure7_selection_rank.run, args=(warm_context,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for tradeoff in result.ranks:
+        histogram = result.histogram(tradeoff)
+        row = {"tradeoff": tradeoff}
+        row.update({f"rank_{rank}": histogram.get(rank, 0) for rank in range(1, 7)})
+        row["optimal_%"] = result.optimal_rate_percent(tradeoff)
+        rows.append(row)
+    print()
+    print(format_table(rows, "Figure 7 - rank of the selected memory size"))
+    print(
+        f"overall: optimal {result.rate_percent(1):.1f}% (paper {figure7_selection_rank.PAPER_OVERALL_OPTIMAL_PERCENT}%), "
+        f"second-best {result.rate_percent(2):.1f}% (paper {figure7_selection_rank.PAPER_OVERALL_SECOND_BEST_PERCENT}%)"
+    )
+
+    for tradeoff in (0.75, 0.5, 0.25):
+        assert sum(result.histogram(tradeoff).values()) == 27
+    # Shape-level target: the approach finds the optimal or second-best size
+    # for the clear majority of functions.
+    top2 = result.rate_percent(1) + result.rate_percent(2)
+    assert top2 >= 60.0

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table 2 (hyperparameter grid search, reduced grid).
+
+Set ``REPRO_FULL_GRID=1`` to evaluate the paper's complete 1 296-combination
+grid (hours of runtime).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments import table2_hyperparameters
+from repro.experiments.runner import format_table
+
+
+def test_bench_table2_hyperparameter_search(benchmark, warm_context):
+    full_grid = os.environ.get("REPRO_FULL_GRID", "0") == "1"
+    result = benchmark.pedantic(
+        table2_hyperparameters.run,
+        args=(warm_context,),
+        kwargs={"full_grid": full_grid, "n_splits": 2, "max_samples": 60},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(result.rows(), "Table 2 - selected hyperparameters (ours vs paper)"))
+    print(f"evaluated combinations: {result.n_combinations}, best CV MSE: {result.search_result.best_score:.4f}")
+
+    assert result.selected_parameters
+    # The search must beat the worst configuration it evaluated.
+    table = result.search_result.as_table()
+    assert table[0]["score"] <= table[-1]["score"]
+    # Adam should be competitive: the best configuration uses a stochastic
+    # optimizer from the searched set.
+    assert result.selected_parameters["optimizer"] in {"adam", "sgd", "adagrad"}

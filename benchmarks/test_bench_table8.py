@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Table 8 (cost savings and speedup per application)."""
+
+from __future__ import annotations
+
+from repro.experiments import table8_savings
+from repro.experiments.runner import format_table
+
+
+def test_bench_table8_savings(benchmark, warm_context):
+    result = benchmark.pedantic(table8_savings.run, args=(warm_context,), rounds=1, iterations=1)
+
+    rows = []
+    for row in result.rows:
+        rows.append(
+            {
+                "application": row.application,
+                "tradeoff": row.tradeoff,
+                "cost_savings_%": row.cost_savings_percent,
+                "speedup_%": row.speedup_percent,
+            }
+        )
+    for tradeoff in (0.75, 0.5, 0.25):
+        all_row = result.all_applications_row(tradeoff)
+        rows.append(
+            {
+                "application": all_row.application,
+                "tradeoff": tradeoff,
+                "cost_savings_%": all_row.cost_savings_percent,
+                "speedup_%": all_row.speedup_percent,
+            }
+        )
+    print()
+    print(format_table(rows, "Table 8 - cost savings and speedup vs the 128 MB default"))
+    print(f"paper (all applications): {table8_savings.PAPER_TABLE8_ALL}")
+
+    balanced = result.all_applications_row(0.75)
+    speed_focused = result.all_applications_row(0.25)
+    # Shape-level checks: recommendations deliver substantial speedups, and a
+    # smaller trade-off parameter (performance priority) yields at least as
+    # much speedup at no better cost.
+    assert balanced.speedup_percent > 20.0
+    assert speed_focused.speedup_percent >= balanced.speedup_percent - 5.0
+    assert speed_focused.cost_savings_percent <= balanced.cost_savings_percent + 5.0

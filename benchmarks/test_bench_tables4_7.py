@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Tables 4-7 (relative prediction error per function)."""
+
+from __future__ import annotations
+
+from repro.experiments import tables4_7_prediction_error
+from repro.experiments.runner import format_table
+
+
+def test_bench_tables4_7_prediction_error(benchmark, warm_context):
+    result = benchmark.pedantic(
+        tables4_7_prediction_error.run, args=(warm_context,), rounds=1, iterations=1
+    )
+
+    print()
+    for application, table in result.tables.items():
+        rows = []
+        for function, errors in table.per_function.items():
+            row = {"function": function}
+            row.update({f"{size}MB": value for size, value in sorted(errors.items())})
+            rows.append(row)
+        all_row = {"function": "All functions"}
+        all_row.update({f"{size}MB": value for size, value in table.all_functions_row().items()})
+        rows.append(all_row)
+        paper = tables4_7_prediction_error.PAPER_ALL_FUNCTION_ROWS[application]
+        paper_row = {"function": "Paper (all functions)"}
+        paper_row.update({f"{size}MB": value for size, value in sorted(paper.items())})
+        rows.append(paper_row)
+        print(format_table(rows, f"Prediction error [%] - {application} (base 256 MB)"))
+
+    overall = result.overall_error_percent()
+    print(
+        f"Overall average prediction error: {overall:.1f}% "
+        f"(paper: {tables4_7_prediction_error.PAPER_OVERALL_ERROR_PERCENT}%)"
+    )
+
+    assert set(result.tables) == set(tables4_7_prediction_error.PAPER_ALL_FUNCTION_ROWS)
+    assert sum(len(table.per_function) for table in result.tables.values()) == 27
+    # Shape-level reproduction target: same order of magnitude as the paper's
+    # 15.3 % average error.
+    assert overall < 45.0

@@ -1,0 +1,70 @@
+"""Compare Sizeless against measurement-based sizing baselines.
+
+Sizeless needs *zero* dedicated performance experiments (it reuses production
+monitoring from a single memory size); AWS Lambda Power Tuning measures every
+size, COSE measures a few sizes guided by a model, and BATCH interpolates from
+a sparse subset.  This example sizes the Airline Booking functions with all
+four approaches and reports how often each one finds the truly optimal size
+and how many measurements it needed.
+
+Run with::
+
+    python examples/compare_baselines.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import BatchPolynomialBaseline, CoseBaseline, PowerTuningBaseline
+from repro.core import PipelineConfig, SizelessPipeline
+from repro.dataset import HarnessConfig, MeasurementHarness
+from repro.simulation.platform import PlatformConfig, ServerlessPlatform
+from repro.workloads import airline_booking
+
+
+def main() -> None:
+    application = airline_booking()
+    tradeoff = 0.75
+
+    pipeline = SizelessPipeline(
+        PipelineConfig(n_training_functions=150, invocations_per_size=20, seed=3)
+    )
+    print("Training the Sizeless model ...")
+    pipeline.run_offline_phase()
+    optimizer = pipeline.predictor.optimizer
+
+    truth_harness = MeasurementHarness(
+        platform=ServerlessPlatform(config=PlatformConfig(allowed_memory_sizes_mb=None, seed=77)),
+        config=HarnessConfig(max_invocations_per_size=25, seed=78),
+    )
+
+    baselines = {
+        "power_tuning": PowerTuningBaseline(tradeoff=tradeoff, seed=1),
+        "cose": CoseBaseline(tradeoff=tradeoff, seed=2, measurement_budget=3),
+        "batch_poly": BatchPolynomialBaseline(tradeoff=tradeoff, seed=3, measured_sizes=3),
+    }
+    hits = {name: 0 for name in ("sizeless", *baselines)}
+    measurements = {name: 0 for name in hits}
+
+    for function in application.functions:
+        truth = truth_harness.measure_function(function).execution_times()
+        best = optimizer.recommend(truth, tradeoff=tradeoff).selected_memory_mb
+
+        recommendation = pipeline.recommend(function, tradeoff=tradeoff)
+        hits["sizeless"] += int(recommendation.selected_memory_mb == best)
+
+        for name, baseline in baselines.items():
+            outcome = baseline.recommend(function)
+            hits[name] += int(outcome.selected_memory_mb == best)
+            measurements[name] += outcome.measurements_used
+
+    n_functions = len(application.functions)
+    print(f"\nResults over {n_functions} functions of {application.name!r} (t = {tradeoff}):\n")
+    print(f"{'approach':<14s} {'optimal picks':>14s} {'measurements/function':>22s}")
+    for name in hits:
+        per_function = measurements[name] / n_functions
+        print(f"{name:<14s} {hits[name]:>7d}/{n_functions:<5d} {per_function:>22.1f}")
+    print("\nSizeless uses production monitoring only - no dedicated measurements.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Reproduce the paper's motivating example (Figure 1).
+
+Measures four functions with very different resource profiles across the
+memory-size range and prints how execution time and cost per execution react —
+demonstrating why choosing a memory size is both important and unintuitive.
+
+Run with::
+
+    python examples/motivating_example.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure1_motivation
+
+
+def main() -> None:
+    result = figure1_motivation.run(invocations_per_size=30)
+    functions = sorted({str(row["function"]) for row in result.rows})
+    for function in functions:
+        times = result.times_for(function)
+        costs = result.costs_for(function)
+        print(f"{function}")
+        print(f"  {'memory':>8s} {'time [ms]':>12s} {'cost [ct]':>12s}")
+        for memory_mb in sorted(times):
+            print(f"  {memory_mb:>6d}MB {times[memory_mb]:>12.1f} {costs[memory_mb]:>12.6f}")
+        fastest = min(times, key=times.get)
+        cheapest = min(costs, key=costs.get)
+        print(f"  fastest size: {fastest} MB, cheapest size: {cheapest} MB\n")
+
+    print("Shape checks (paper Section 2):")
+    for name, holds in result.observations.items():
+        print(f"  {name:35s} {'OK' if holds else 'DIFFERS'}")
+
+
+if __name__ == "__main__":
+    main()

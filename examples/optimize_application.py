@@ -1,0 +1,62 @@
+"""Optimize every function of a real serverless application.
+
+Trains the model on synthetic functions, then walks through the Hello Retail
+case study: each function is monitored at 256 MB only, the model predicts the
+other five sizes, and the optimizer recommends a size per function.  The
+script then compares the recommendation against ground-truth measurements at
+every size to report the achieved speedup and cost change.
+
+Run with::
+
+    python examples/optimize_application.py
+"""
+
+from __future__ import annotations
+
+from repro.core import PipelineConfig, SizelessPipeline
+from repro.dataset import HarnessConfig, MeasurementHarness
+from repro.simulation.platform import PlatformConfig, ServerlessPlatform
+from repro.simulation.pricing import PricingModel
+from repro.workloads import hello_retail
+
+
+def main() -> None:
+    application = hello_retail()
+    pipeline = SizelessPipeline(
+        PipelineConfig(n_training_functions=150, invocations_per_size=20, seed=11)
+    )
+    print("Training the Sizeless model on synthetic functions ...")
+    pipeline.run_offline_phase()
+
+    # Ground truth for comparison: measure every function at every size.
+    platform = ServerlessPlatform(
+        config=PlatformConfig(allowed_memory_sizes_mb=None, seed=1234)
+    )
+    harness = MeasurementHarness(
+        platform=platform, config=HarnessConfig(max_invocations_per_size=25, seed=5)
+    )
+    pricing = PricingModel()
+
+    print(f"\nOptimizing application {application.name!r} (t = 0.75):\n")
+    header = f"{'function':<24s} {'recommended':>12s} {'true best':>10s} {'speedup':>9s} {'cost change':>12s}"
+    print(header)
+    print("-" * len(header))
+    default_size = 128  # the AWS default memory size
+    for function in application.functions:
+        recommendation = pipeline.recommend(function, tradeoff=0.75)
+        truth = harness.measure_function(function).execution_times()
+        true_best = pipeline.predictor.optimizer.recommend(truth).selected_memory_mb
+        selected = recommendation.selected_memory_mb
+        speedup = 100.0 * (truth[default_size] - truth[selected]) / truth[default_size]
+        base_cost = pricing.execution_cost(truth[default_size], default_size)
+        new_cost = pricing.execution_cost(truth[selected], selected)
+        cost_change = 100.0 * (new_cost - base_cost) / base_cost
+        print(
+            f"{function.name:<24s} {selected:>10d}MB {true_best:>8d}MB "
+            f"{speedup:>8.1f}% {cost_change:>+11.1f}%"
+        )
+    print("\nSpeedup and cost change are relative to the AWS default size (128 MB).")
+
+
+if __name__ == "__main__":
+    main()

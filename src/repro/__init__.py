@@ -1,0 +1,89 @@
+"""Sizeless reproduction: predicting the optimal size of serverless functions.
+
+This package is a full, self-contained reproduction of the Middleware 2021
+paper *"Sizeless: Predicting the Optimal Size of Serverless Functions"*
+(Eismann et al.).  It contains:
+
+- ``repro.simulation``  -- a serverless platform simulator standing in for AWS
+  Lambda (resource scaling, pricing, managed services, runtime metrics).
+- ``repro.workloads``   -- the synthetic function generator, the sixteen
+  function segments, and the four case-study applications.
+- ``repro.monitoring``  -- the wrapper-style resource consumption monitor and
+  the metric stability analysis.
+- ``repro.dataset``     -- the measurement harness and training dataset builder.
+- ``repro.ml``          -- a from-scratch numpy neural-network stack (layers,
+  optimizers, losses, cross-validation, grid search).
+- ``repro.core``        -- the paper's contribution: feature engineering,
+  multi-target regression model, memory-size optimizer and the end-to-end
+  ``SizelessPredictor`` API.
+- ``repro.baselines``   -- Power-Tuning, COSE-style, and BATCH-style baselines.
+- ``repro.experiments`` -- one module per table/figure of the evaluation.
+
+Quickstart::
+
+    from repro import SizelessPipeline, PipelineConfig
+
+    pipeline = SizelessPipeline(PipelineConfig(n_training_functions=300, seed=7))
+    pipeline.run_offline_phase()
+    recommendation = pipeline.recommend("my-function", tradeoff=0.75)
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    ConfigurationError,
+    DatasetError,
+    ModelError,
+    MonitoringError,
+    OptimizationError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "WorkloadError",
+    "MonitoringError",
+    "DatasetError",
+    "ModelError",
+    "OptimizationError",
+    "MEMORY_SIZES_MB",
+    "DEFAULT_BASE_SIZE_MB",
+    "SizelessPredictor",
+    "SizelessPipeline",
+    "PipelineConfig",
+    "MemorySizeOptimizer",
+    "TradeoffConfig",
+]
+
+#: The six AWS Lambda memory sizes used throughout the paper (Section 3.3).
+MEMORY_SIZES_MB: tuple[int, ...] = (128, 256, 512, 1024, 2048, 3008)
+
+#: The base memory size the paper recommends monitoring with (Section 3.4).
+DEFAULT_BASE_SIZE_MB: int = 256
+
+
+def __getattr__(name: str):  # pragma: no cover - thin lazy-import shim
+    """Lazily expose the heavyweight public API at the package top level.
+
+    Importing :mod:`repro` stays cheap (errors + constants only); the heavy
+    modules are loaded on first attribute access.
+    """
+    lazy = {
+        "SizelessPredictor": ("repro.core.predictor", "SizelessPredictor"),
+        "SizelessPipeline": ("repro.core.pipeline", "SizelessPipeline"),
+        "PipelineConfig": ("repro.core.pipeline", "PipelineConfig"),
+        "MemorySizeOptimizer": ("repro.core.optimizer", "MemorySizeOptimizer"),
+        "TradeoffConfig": ("repro.core.optimizer", "TradeoffConfig"),
+    }
+    if name in lazy:
+        import importlib
+
+        module_name, attr = lazy[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,30 @@
+"""Baseline approaches for memory-size optimization (paper Section 6).
+
+The paper positions Sizeless against three existing approaches, all of which
+need *measurements at multiple memory sizes*:
+
+- **AWS Lambda Power Tuning** — measure every candidate size and pick the best
+  (:mod:`repro.baselines.power_tuning`).
+- **COSE** — sequential model-based search that measures a few sizes, fits a
+  performance model, and decides where to measure next
+  (:mod:`repro.baselines.cose`).
+- **BATCH** — measure a sparse subset of sizes and interpolate the rest with
+  polynomial regression (:mod:`repro.baselines.batch_poly`).
+
+Each baseline implements the common :class:`MemorySizingBaseline` interface so
+that the ablation benchmarks can compare recommendation quality against the
+number of performance measurements each approach requires.
+"""
+
+from repro.baselines.base import BaselineResult, MemorySizingBaseline
+from repro.baselines.batch_poly import BatchPolynomialBaseline
+from repro.baselines.cose import CoseBaseline
+from repro.baselines.power_tuning import PowerTuningBaseline
+
+__all__ = [
+    "MemorySizingBaseline",
+    "BaselineResult",
+    "PowerTuningBaseline",
+    "CoseBaseline",
+    "BatchPolynomialBaseline",
+]

@@ -1,0 +1,105 @@
+"""Common interface for memory-sizing baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.core.optimizer import MemorySizeOptimizer, TradeoffConfig
+from repro.dataset.harness import HarnessConfig, MeasurementHarness
+from repro.simulation.platform import PlatformConfig, ServerlessPlatform
+from repro.simulation.pricing import PricingModel
+from repro.workloads.function import FunctionSpec
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Recommendation produced by a baseline approach.
+
+    Attributes
+    ----------
+    approach:
+        Name of the baseline.
+    function_name:
+        Function the recommendation is for.
+    selected_memory_mb:
+        Recommended memory size.
+    measurements_used:
+        Number of (function, memory size) performance experiments the
+        approach required — the cost axis the paper argues about.
+    execution_times_ms:
+        Execution time per memory size as seen/estimated by the approach.
+    measured_sizes_mb:
+        The sizes that were actually measured (rest is interpolated).
+    """
+
+    approach: str
+    function_name: str
+    selected_memory_mb: int
+    measurements_used: int
+    execution_times_ms: dict[int, float] = field(default_factory=dict)
+    measured_sizes_mb: tuple[int, ...] = field(default_factory=tuple)
+
+
+class MemorySizingBaseline:
+    """Base class: measures a function at chosen sizes and recommends one.
+
+    Parameters
+    ----------
+    memory_sizes_mb:
+        Candidate memory sizes.
+    tradeoff:
+        Cost/performance trade-off used for the final selection (same score
+        as :class:`~repro.core.optimizer.MemorySizeOptimizer`).
+    invocations_per_measurement:
+        Invocations aggregated per performance measurement.
+    seed:
+        Seed of the measurement platform.
+    """
+
+    name = "baseline"
+
+    def __init__(
+        self,
+        memory_sizes_mb: tuple[int, ...] = (128, 256, 512, 1024, 2048, 3008),
+        tradeoff: float = 0.75,
+        invocations_per_measurement: int = 20,
+        seed: int = 0,
+        pricing: PricingModel | None = None,
+    ) -> None:
+        if not memory_sizes_mb:
+            raise ConfigurationError("memory_sizes_mb must not be empty")
+        self.memory_sizes_mb = tuple(sorted(int(size) for size in memory_sizes_mb))
+        self.pricing = pricing if pricing is not None else PricingModel()
+        self.optimizer = MemorySizeOptimizer(
+            pricing=self.pricing, tradeoff=TradeoffConfig(tradeoff)
+        )
+        platform = ServerlessPlatform(
+            config=PlatformConfig(allowed_memory_sizes_mb=None, seed=seed)
+        )
+        self.harness = MeasurementHarness(
+            platform=platform,
+            config=HarnessConfig(
+                memory_sizes_mb=self.memory_sizes_mb,
+                max_invocations_per_size=invocations_per_measurement,
+                seed=seed + 1,
+            ),
+        )
+        self._measurement_count = 0
+
+    # --------------------------------------------------------------- measuring
+    def measure(self, function: FunctionSpec, memory_mb: int) -> float:
+        """Measure the mean execution time of ``function`` at one size."""
+        measurement = self.harness.measure_function(function, memory_sizes_mb=(memory_mb,))
+        self._measurement_count += 1
+        return measurement.execution_time_ms(memory_mb)
+
+    @property
+    def measurement_count(self) -> int:
+        """Total number of performance measurements across all recommendations."""
+        return self._measurement_count
+
+    # ------------------------------------------------------------------- API
+    def recommend(self, function: FunctionSpec) -> BaselineResult:
+        """Produce a recommendation for one function (implemented by subclasses)."""
+        raise NotImplementedError

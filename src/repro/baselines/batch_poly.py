@@ -1,0 +1,68 @@
+"""BATCH-style baseline: sparse measurements + polynomial interpolation.
+
+BATCH [5] profiles a subset of the candidate configurations and uses
+multivariable polynomial regression to estimate the performance of the
+remaining ones.  Restricted to the memory-size dimension this becomes: measure
+``k`` sizes spread across the range, fit a polynomial in the memory size, and
+interpolate the execution time of the unmeasured sizes before optimizing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.baselines.base import BaselineResult, MemorySizingBaseline
+from repro.ml.linear import PolynomialRegression
+from repro.workloads.function import FunctionSpec
+
+
+class BatchPolynomialBaseline(MemorySizingBaseline):
+    """Polynomial interpolation over a sparse set of measured memory sizes."""
+
+    name = "batch_poly"
+
+    def __init__(self, *args, measured_sizes: int = 3, degree: int = 2, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if measured_sizes < degree + 1:
+            raise ConfigurationError(
+                f"measured_sizes must be at least degree + 1 = {degree + 1}"
+            )
+        self.measured_sizes = int(min(measured_sizes, len(self.memory_sizes_mb)))
+        self.degree = int(degree)
+
+    def _select_measurement_sizes(self) -> tuple[int, ...]:
+        """Pick ``measured_sizes`` sizes spread evenly over the candidate list."""
+        indices = np.linspace(0, len(self.memory_sizes_mb) - 1, self.measured_sizes)
+        return tuple(self.memory_sizes_mb[int(round(index))] for index in indices)
+
+    def recommend(self, function: FunctionSpec) -> BaselineResult:
+        """Measure the sparse subset, interpolate the rest, and optimize."""
+        picked = self._select_measurement_sizes()
+        measured = {size: self.measure(function, size) for size in picked}
+
+        # Fit in inverse-memory space: execution time is approximately affine
+        # in 1/m for CPU-dominated functions, which keeps a low-degree
+        # polynomial well-behaved across the full 128..3008 MB range.
+        inverse_sizes = np.array([1.0 / size for size in picked], dtype=float)
+        times = np.array([measured[size] for size in picked], dtype=float)
+        model = PolynomialRegression(degree=min(self.degree, len(picked) - 1))
+        model.fit(inverse_sizes, times)
+
+        estimates = {}
+        for size in self.memory_sizes_mb:
+            if size in measured:
+                estimates[size] = measured[size]
+            else:
+                predicted = float(model.predict(np.array([1.0 / size]))[0])
+                estimates[size] = max(predicted, 0.1)
+
+        recommendation = self.optimizer.recommend(estimates)
+        return BaselineResult(
+            approach=self.name,
+            function_name=function.name,
+            selected_memory_mb=recommendation.selected_memory_mb,
+            measurements_used=len(picked),
+            execution_times_ms=estimates,
+            measured_sizes_mb=picked,
+        )

@@ -1,0 +1,97 @@
+"""COSE-style baseline: sequential model-based configuration search.
+
+COSE [4] uses Bayesian optimization to reduce the number of performance
+measurements: it measures a few memory sizes, fits a statistical performance
+model, and uses the model to decide which configuration to measure next.  This
+implementation keeps the sequential model-based structure with a pragmatic
+surrogate: execution time is modelled as ``t(m) = a / m + b`` (the
+inverse-proportional CPU component plus a constant service component), fitted
+by least squares on the measured sizes.  At every step the candidate size with
+the largest disagreement between model variants (an uncertainty proxy) is
+measured next, until the measurement budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.baselines.base import BaselineResult, MemorySizingBaseline
+from repro.workloads.function import FunctionSpec
+
+
+def _fit_inverse_model(sizes: np.ndarray, times: np.ndarray) -> tuple[float, float]:
+    """Least-squares fit of ``t = a / m + b``; returns (a, b)."""
+    design = np.column_stack([1.0 / sizes, np.ones_like(sizes)])
+    coeffs, *_ = np.linalg.lstsq(design, times, rcond=None)
+    return float(coeffs[0]), float(coeffs[1])
+
+
+class CoseBaseline(MemorySizingBaseline):
+    """Sequential model-based search over memory sizes (COSE-like)."""
+
+    name = "cose"
+
+    def __init__(self, *args, measurement_budget: int = 3, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if measurement_budget < 2:
+            raise ConfigurationError("measurement_budget must be at least 2")
+        self.measurement_budget = int(min(measurement_budget, len(self.memory_sizes_mb)))
+
+    def _predict_times(
+        self, measured: dict[int, float]
+    ) -> dict[int, float]:
+        sizes = np.array(sorted(measured), dtype=float)
+        times = np.array([measured[int(size)] for size in sizes], dtype=float)
+        a, b = _fit_inverse_model(sizes, times)
+        predictions = {}
+        for size in self.memory_sizes_mb:
+            if size in measured:
+                predictions[size] = measured[size]
+            else:
+                predictions[size] = max(a / size + b, 0.1)
+        return predictions
+
+    def _uncertainty(self, measured: dict[int, float], candidate: int) -> float:
+        """Disagreement between leave-one-out model fits at ``candidate``."""
+        if len(measured) < 3:
+            # With two points every fit is exact; prefer the candidate that is
+            # furthest (in log space) from any measured size.
+            distances = [
+                abs(np.log(candidate) - np.log(size)) for size in measured
+            ]
+            return float(min(distances))
+        predictions = []
+        for leave_out in measured:
+            subset = {size: time for size, time in measured.items() if size != leave_out}
+            sizes = np.array(sorted(subset), dtype=float)
+            times = np.array([subset[int(size)] for size in sizes], dtype=float)
+            a, b = _fit_inverse_model(sizes, times)
+            predictions.append(a / candidate + b)
+        return float(np.std(predictions))
+
+    def recommend(self, function: FunctionSpec) -> BaselineResult:
+        """Run the sequential search and recommend a memory size."""
+        # Seed with the two extreme sizes (most informative for an inverse fit).
+        measured: dict[int, float] = {}
+        initial = [self.memory_sizes_mb[0], self.memory_sizes_mb[-1]][: self.measurement_budget]
+        for size in initial:
+            measured[size] = self.measure(function, size)
+
+        while len(measured) < self.measurement_budget:
+            remaining = [size for size in self.memory_sizes_mb if size not in measured]
+            if not remaining:
+                break
+            next_size = max(remaining, key=lambda size: self._uncertainty(measured, size))
+            measured[next_size] = self.measure(function, next_size)
+
+        predictions = self._predict_times(measured)
+        recommendation = self.optimizer.recommend(predictions)
+        return BaselineResult(
+            approach=self.name,
+            function_name=function.name,
+            selected_memory_mb=recommendation.selected_memory_mb,
+            measurements_used=len(measured),
+            execution_times_ms=predictions,
+            measured_sizes_mb=tuple(sorted(measured)),
+        )

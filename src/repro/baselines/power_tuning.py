@@ -1,0 +1,31 @@
+"""AWS-Lambda-Power-Tuning-style baseline: measure every candidate size.
+
+The open-source power tuning tool [10] deploys the function at every memory
+size in a list, measures each, and reports the best configuration.  It is the
+gold standard in recommendation quality (it observes the truth) but requires
+``len(memory_sizes)`` dedicated performance experiments per function.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineResult, MemorySizingBaseline
+from repro.workloads.function import FunctionSpec
+
+
+class PowerTuningBaseline(MemorySizingBaseline):
+    """Exhaustive measurement over all candidate memory sizes."""
+
+    name = "power_tuning"
+
+    def recommend(self, function: FunctionSpec) -> BaselineResult:
+        """Measure all sizes and pick the best under the configured trade-off."""
+        times = {size: self.measure(function, size) for size in self.memory_sizes_mb}
+        recommendation = self.optimizer.recommend(times)
+        return BaselineResult(
+            approach=self.name,
+            function_name=function.name,
+            selected_memory_mb=recommendation.selected_memory_mb,
+            measurements_used=len(self.memory_sizes_mb),
+            execution_times_ms=times,
+            measured_sizes_mb=self.memory_sizes_mb,
+        )

@@ -1,0 +1,69 @@
+"""The paper's contribution: feature engineering, multi-target regression,
+memory-size optimization, and the end-to-end Sizeless pipeline.
+
+Module map (paper Section 3):
+
+- :mod:`repro.core.features`            -- feature engineering F0 -> F4
+  (means, per-second normalisation, std / coefficient of variation).
+- :mod:`repro.core.feature_selection`   -- sequential forward feature
+  selection used in the three selection rounds of Figure 4.
+- :mod:`repro.core.model`               -- the multi-target regression model
+  predicting execution-time ratios for unseen memory sizes.
+- :mod:`repro.core.training`            -- training-matrix construction,
+  repeated k-fold cross-validation (Table 3), model training.
+- :mod:`repro.core.partial_dependence`  -- partial-dependence analysis
+  (Figure 5).
+- :mod:`repro.core.optimizer`           -- the cost/performance trade-off
+  scores and memory-size selection (Section 3.5).
+- :mod:`repro.core.predictor`           -- :class:`SizelessPredictor`, the
+  online-phase API (monitoring summary in, recommendation out).
+- :mod:`repro.core.pipeline`            -- :class:`SizelessPipeline`, the
+  offline + online phases wired together.
+"""
+
+from repro.core.features import (
+    DEFAULT_FEATURE_SET,
+    EXTENDED_FEATURE_SET,
+    FEATURE_SET_F0,
+    FeatureExtractor,
+    feature_set_f0,
+    feature_set_f2,
+)
+from repro.core.feature_selection import SelectionRound, SequentialForwardSelection
+from repro.core.model import SizelessModel, SizelessModelConfig, default_network_config
+from repro.core.optimizer import MemoryRecommendation, MemorySizeOptimizer, TradeoffConfig
+from repro.core.partial_dependence import PartialDependence, partial_dependence
+from repro.core.pipeline import PipelineConfig, SizelessPipeline
+from repro.core.predictor import SizelessPredictor
+from repro.core.training import (
+    TrainingMatrices,
+    build_training_matrices,
+    cross_validate_base_size,
+    train_model,
+)
+
+__all__ = [
+    "FeatureExtractor",
+    "DEFAULT_FEATURE_SET",
+    "EXTENDED_FEATURE_SET",
+    "FEATURE_SET_F0",
+    "feature_set_f0",
+    "feature_set_f2",
+    "default_network_config",
+    "SequentialForwardSelection",
+    "SelectionRound",
+    "SizelessModel",
+    "SizelessModelConfig",
+    "TrainingMatrices",
+    "build_training_matrices",
+    "cross_validate_base_size",
+    "train_model",
+    "PartialDependence",
+    "partial_dependence",
+    "MemorySizeOptimizer",
+    "MemoryRecommendation",
+    "TradeoffConfig",
+    "SizelessPredictor",
+    "SizelessPipeline",
+    "PipelineConfig",
+]

@@ -1,0 +1,169 @@
+"""Sequential forward feature selection (paper Figure 4).
+
+The paper runs three rounds of sequential forward selection: starting from an
+empty feature set, the feature whose addition yields the lowest
+cross-validated mean squared error is added, one at a time, producing an
+accuracy-versus-number-of-features curve; the final size is chosen at the
+point where additional features stop improving the error.
+
+The selector is model-agnostic: it takes a factory producing fresh estimators
+(anything with ``fit``/``predict``) so that the experiments can run it with
+the full neural network or, for speed, with the closed-form linear model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.metrics import mean_squared_error
+from repro.ml.validation import KFold
+
+
+@dataclass
+class SelectionRound:
+    """Result of one sequential-forward-selection run.
+
+    Attributes
+    ----------
+    candidate_features:
+        The features the round selected from.
+    selection_order:
+        Features in the order they were added.
+    scores:
+        Cross-validated score after each addition (``scores[i]`` corresponds
+        to the feature set ``selection_order[: i + 1]``).
+    selected_features:
+        The chosen prefix of ``selection_order``.
+    """
+
+    candidate_features: list[str]
+    selection_order: list[str] = field(default_factory=list)
+    scores: list[float] = field(default_factory=list)
+    selected_features: list[str] = field(default_factory=list)
+
+    @property
+    def best_score(self) -> float:
+        """Score of the selected feature set."""
+        if not self.scores:
+            return float("nan")
+        return self.scores[len(self.selected_features) - 1]
+
+    def curve(self) -> list[tuple[int, float]]:
+        """(number of features, score) pairs — the Figure-4 curve."""
+        return [(i + 1, score) for i, score in enumerate(self.scores)]
+
+
+class SequentialForwardSelection:
+    """Greedy forward feature selection with k-fold cross-validation.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable returning a fresh, unfitted estimator with
+        ``fit(x, y)`` and ``predict(x)``.
+    scoring:
+        Callable ``(y_true, y_pred) -> float`` to minimise (default MSE).
+    n_splits:
+        Number of cross-validation folds.
+    max_features:
+        Stop after selecting this many features (``None`` = all candidates).
+    tolerance:
+        Relative improvement below which adding further features is considered
+        not worthwhile when picking the final feature count.
+    seed:
+        Fold-assignment seed.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[], object],
+        scoring: Callable[[np.ndarray, np.ndarray], float] = mean_squared_error,
+        n_splits: int = 3,
+        max_features: int | None = None,
+        tolerance: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        if n_splits < 2:
+            raise ConfigurationError("n_splits must be at least 2")
+        if max_features is not None and max_features < 1:
+            raise ConfigurationError("max_features must be at least 1 when given")
+        if tolerance < 0:
+            raise ConfigurationError("tolerance must be non-negative")
+        self.model_factory = model_factory
+        self.scoring = scoring
+        self.n_splits = n_splits
+        self.max_features = max_features
+        self.tolerance = tolerance
+        self.seed = seed
+
+    # ------------------------------------------------------------------ score
+    def _cv_score(self, x: np.ndarray, y: np.ndarray) -> float:
+        fold = KFold(n_splits=self.n_splits, seed=self.seed)
+        scores = []
+        for train_idx, test_idx in fold.split(len(x)):
+            model = self.model_factory()
+            model.fit(x[train_idx], y[train_idx])
+            prediction = np.asarray(model.predict(x[test_idx]))
+            scores.append(self.scoring(y[test_idx], prediction))
+        return float(np.mean(scores))
+
+    # -------------------------------------------------------------------- run
+    def run(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        feature_names: list[str],
+    ) -> SelectionRound:
+        """Run one selection round over the candidate ``feature_names``.
+
+        ``features`` must be the full candidate feature matrix with columns in
+        ``feature_names`` order.
+        """
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2 or features.shape[1] != len(feature_names):
+            raise ConfigurationError(
+                "features must be 2-D with one column per candidate feature"
+            )
+        if len(features) != len(targets):
+            raise ConfigurationError("features and targets must have equal length")
+
+        result = SelectionRound(candidate_features=list(feature_names))
+        remaining = list(range(len(feature_names)))
+        selected: list[int] = []
+        limit = self.max_features if self.max_features is not None else len(feature_names)
+
+        while remaining and len(selected) < limit:
+            best_candidate = None
+            best_score = float("inf")
+            for candidate in remaining:
+                columns = selected + [candidate]
+                score = self._cv_score(features[:, columns], targets)
+                if score < best_score:
+                    best_score = score
+                    best_candidate = candidate
+            assert best_candidate is not None  # remaining was non-empty
+            selected.append(best_candidate)
+            remaining.remove(best_candidate)
+            result.selection_order.append(feature_names[best_candidate])
+            result.scores.append(best_score)
+
+        result.selected_features = self._pick_prefix(result)
+        return result
+
+    def _pick_prefix(self, round_result: SelectionRound) -> list[str]:
+        """Pick the number of features after which improvements become marginal."""
+        scores = round_result.scores
+        if not scores:
+            return []
+        best_overall = min(scores)
+        # Smallest prefix whose score is within `tolerance` of the best score.
+        threshold = best_overall * (1.0 + self.tolerance) + 1e-12
+        for index, score in enumerate(scores):
+            if score <= threshold:
+                return round_result.selection_order[: index + 1]
+        return list(round_result.selection_order)

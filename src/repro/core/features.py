@@ -1,0 +1,169 @@
+"""Feature engineering for the multi-target regression model (Section 3.4).
+
+The paper starts from the mean of every monitored metric (feature set F0),
+selects the most predictive subset (F1), adds *relative* features normalised
+by the execution length (F2, e.g. context switches per second), reduces again
+(F3), and finally adds the standard deviation and coefficient of variation of
+the remaining metrics (F4).  The final feature set only needs six monitored
+metrics: heap used, user CPU time, system CPU time, voluntary context
+switches, file-system writes, and bytes received over the network.
+
+Feature names follow a small grammar over the Table-1 metric names::
+
+    <metric>_mean          mean of the metric over the measurement window
+    <metric>_std           standard deviation over the window
+    <metric>_cv            coefficient of variation over the window
+    <metric>_per_second    mean divided by the mean execution time in seconds
+
+:class:`FeatureExtractor` resolves any such name against a
+:class:`~repro.monitoring.aggregation.MonitoringSummary`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MonitoringError
+from repro.monitoring.aggregation import MonitoringSummary
+from repro.monitoring.metrics import METRIC_NAMES
+
+_SUFFIXES = ("_per_second", "_mean", "_std", "_cv")
+
+
+def _split_feature_name(name: str) -> tuple[str, str]:
+    """Split ``"<metric><suffix>"`` into (metric, suffix) and validate both."""
+    for suffix in _SUFFIXES:
+        if name.endswith(suffix):
+            metric = name[: -len(suffix)]
+            if metric not in METRIC_NAMES:
+                raise ConfigurationError(
+                    f"feature {name!r} references unknown metric {metric!r}"
+                )
+            return metric, suffix
+    raise ConfigurationError(
+        f"feature {name!r} does not end in one of {_SUFFIXES}"
+    )
+
+
+def feature_set_f0() -> list[str]:
+    """F0: mean execution time plus the mean of every resource metric."""
+    return [f"{metric}_mean" for metric in METRIC_NAMES]
+
+
+def feature_set_f2(selected_metrics: tuple[str, ...] | None = None) -> list[str]:
+    """F2-style set: means plus per-second normalised variants.
+
+    ``selected_metrics`` restricts the set to the given metrics (defaults to
+    every Table-1 metric except the execution time itself for the per-second
+    variants, which would be constant 1000).
+    """
+    metrics = selected_metrics if selected_metrics is not None else METRIC_NAMES
+    features = [f"{metric}_mean" for metric in metrics]
+    features += [
+        f"{metric}_per_second" for metric in metrics if metric != "execution_time"
+    ]
+    return features
+
+
+#: Mean features of F0 in Table-1 order.
+FEATURE_SET_F0: tuple[str, ...] = tuple(feature_set_f0())
+
+#: The final feature set used by the trained model (paper F4): the features
+#: computed from execution time plus the six production metrics.
+DEFAULT_FEATURE_SET: tuple[str, ...] = (
+    "execution_time_mean",
+    "user_cpu_time_per_second",
+    "system_cpu_time_per_second",
+    "user_cpu_time_mean",
+    "heap_used_mean",
+    "heap_used_cv",
+    "vol_context_switches_per_second",
+    "vol_context_switches_mean",
+    "fs_writes_per_second",
+    "bytes_received_per_second",
+    "bytes_received_mean",
+    "fs_writes_cv",
+)
+
+#: An extended variant used in the ablation benchmarks: the F4 features plus
+#: two additional signals (CPU-throttling pressure via involuntary context
+#: switches, and the resident set size) that require monitoring two more
+#: metrics than the paper's six.
+EXTENDED_FEATURE_SET: tuple[str, ...] = DEFAULT_FEATURE_SET + (
+    "invol_context_switches_per_second",
+    "resident_set_size_mean",
+)
+
+
+class FeatureExtractor:
+    """Computes a feature vector from a monitoring summary.
+
+    Parameters
+    ----------
+    feature_names:
+        Ordered feature names following the grammar described in the module
+        docstring.  Defaults to :data:`DEFAULT_FEATURE_SET`.
+    """
+
+    def __init__(self, feature_names: tuple[str, ...] | list[str] | None = None) -> None:
+        names = tuple(feature_names) if feature_names is not None else DEFAULT_FEATURE_SET
+        if not names:
+            raise ConfigurationError("feature_names must not be empty")
+        if len(set(names)) != len(names):
+            raise ConfigurationError("feature_names contains duplicates")
+        # Validate eagerly so configuration errors surface at construction.
+        self._parsed = [(_split_feature_name(name), name) for name in names]
+        self.feature_names: tuple[str, ...] = names
+
+    @property
+    def n_features(self) -> int:
+        """Number of features produced per summary."""
+        return len(self.feature_names)
+
+    def required_metrics(self) -> list[str]:
+        """Metrics that must be monitored to compute this feature set."""
+        metrics = {metric for (metric, _suffix), _name in self._parsed}
+        # Per-second features additionally need the execution time.
+        if any(suffix == "_per_second" for (_m, suffix), _n in self._parsed):
+            metrics.add("execution_time")
+        return sorted(metrics)
+
+    def compute_feature(self, name: str, summary: MonitoringSummary) -> float:
+        """Compute a single feature value from a summary."""
+        metric, suffix = _split_feature_name(name)
+        if suffix == "_mean":
+            return summary.mean(metric)
+        if suffix == "_std":
+            return summary.std(metric)
+        if suffix == "_cv":
+            return summary.cv(metric)
+        # _per_second
+        execution_time_s = summary.mean_execution_time_ms / 1000.0
+        if execution_time_s <= 0:
+            raise MonitoringError("cannot normalise by a non-positive execution time")
+        return summary.mean(metric) / execution_time_s
+
+    def extract(self, summary: MonitoringSummary) -> np.ndarray:
+        """Return the feature vector of one summary (1-D array)."""
+        return np.array(
+            [self.compute_feature(name, summary) for name in self.feature_names],
+            dtype=float,
+        )
+
+    def extract_matrix(self, summaries: list[MonitoringSummary]) -> np.ndarray:
+        """Return the feature matrix of several summaries (rows = summaries)."""
+        if not summaries:
+            raise ConfigurationError("extract_matrix needs at least one summary")
+        return np.vstack([self.extract(summary) for summary in summaries])
+
+    def subset(self, feature_names: list[str] | tuple[str, ...]) -> "FeatureExtractor":
+        """Return a new extractor restricted to the given features."""
+        unknown = set(feature_names) - set(self.feature_names)
+        if unknown:
+            raise ConfigurationError(
+                f"features {sorted(unknown)} are not part of this extractor"
+            )
+        return FeatureExtractor(tuple(feature_names))
+
+    def __repr__(self) -> str:
+        return f"FeatureExtractor(n_features={self.n_features})"

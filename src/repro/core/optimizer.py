@@ -1,0 +1,189 @@
+"""Memory size optimization (paper Section 3.5).
+
+Given the (predicted or measured) execution time of a function for every
+candidate memory size, the optimizer computes a normalised cost score and a
+normalised performance score::
+
+    S_cost(m) = cost(m) / min_i cost(m_i)
+    S_perf(m) = time(m) / min_i time(m_i)
+
+and combines them with a configurable trade-off ``t``::
+
+    S_total(m) = t * S_cost(m) + (1 - t) * S_perf(m)
+
+The memory size minimising ``S_total`` is recommended.  ``t = 0.75``
+prioritises cost (the paper's recommended setting), ``t = 0.5`` is balanced,
+``t = 0.25`` prioritises performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OptimizationError
+from repro.simulation.pricing import PricingModel
+
+
+@dataclass(frozen=True)
+class TradeoffConfig:
+    """Trade-off setting of the optimizer.
+
+    Attributes
+    ----------
+    tradeoff:
+        The paper's ``t`` in [0, 1]: weight of the cost score (1 - t weights
+        the performance score).
+    """
+
+    tradeoff: float = 0.75
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.tradeoff <= 1.0:
+            raise OptimizationError("tradeoff must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class MemoryRecommendation:
+    """Outcome of one optimization run.
+
+    Attributes
+    ----------
+    selected_memory_mb:
+        The recommended memory size.
+    tradeoff:
+        Trade-off parameter the recommendation was computed with.
+    execution_times_ms:
+        Execution time per memory size used for the decision.
+    costs_usd:
+        Cost per execution per memory size.
+    cost_scores / performance_scores / total_scores:
+        The normalised scores per memory size.
+    ranking:
+        Memory sizes ordered from best (lowest total score) to worst.
+    """
+
+    selected_memory_mb: int
+    tradeoff: float
+    execution_times_ms: dict[int, float] = field(default_factory=dict)
+    costs_usd: dict[int, float] = field(default_factory=dict)
+    cost_scores: dict[int, float] = field(default_factory=dict)
+    performance_scores: dict[int, float] = field(default_factory=dict)
+    total_scores: dict[int, float] = field(default_factory=dict)
+    ranking: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def selected_execution_time_ms(self) -> float:
+        """Execution time at the recommended size."""
+        return self.execution_times_ms[self.selected_memory_mb]
+
+    @property
+    def selected_cost_usd(self) -> float:
+        """Cost per execution at the recommended size."""
+        return self.costs_usd[self.selected_memory_mb]
+
+
+class MemorySizeOptimizer:
+    """Selects the optimal memory size from per-size execution times."""
+
+    def __init__(
+        self,
+        pricing: PricingModel | None = None,
+        tradeoff: TradeoffConfig | float = TradeoffConfig(),
+    ) -> None:
+        self.pricing = pricing if pricing is not None else PricingModel()
+        if isinstance(tradeoff, (int, float)):
+            tradeoff = TradeoffConfig(tradeoff=float(tradeoff))
+        self.tradeoff = tradeoff
+
+    # ----------------------------------------------------------------- scores
+    def costs(self, execution_times_ms: dict[int, float]) -> dict[int, float]:
+        """Cost per execution for every memory size."""
+        self._validate(execution_times_ms)
+        return {
+            int(size): self.pricing.execution_cost(time_ms, size)
+            for size, time_ms in execution_times_ms.items()
+        }
+
+    def cost_scores(self, execution_times_ms: dict[int, float]) -> dict[int, float]:
+        """``S_cost`` for every memory size (minimum is 1.0)."""
+        costs = self.costs(execution_times_ms)
+        minimum = min(costs.values())
+        return {size: cost / minimum for size, cost in costs.items()}
+
+    def performance_scores(self, execution_times_ms: dict[int, float]) -> dict[int, float]:
+        """``S_perf`` for every memory size (minimum is 1.0)."""
+        self._validate(execution_times_ms)
+        minimum = min(execution_times_ms.values())
+        return {int(size): time / minimum for size, time in execution_times_ms.items()}
+
+    def total_scores(
+        self, execution_times_ms: dict[int, float], tradeoff: float | None = None
+    ) -> dict[int, float]:
+        """``S_total`` for every memory size under the given trade-off."""
+        t = self.tradeoff.tradeoff if tradeoff is None else TradeoffConfig(tradeoff).tradeoff
+        cost_scores = self.cost_scores(execution_times_ms)
+        perf_scores = self.performance_scores(execution_times_ms)
+        return {
+            size: t * cost_scores[size] + (1.0 - t) * perf_scores[size]
+            for size in cost_scores
+        }
+
+    # ------------------------------------------------------------------ select
+    def recommend(
+        self, execution_times_ms: dict[int, float], tradeoff: float | None = None
+    ) -> MemoryRecommendation:
+        """Return the full recommendation (selected size, scores, ranking)."""
+        t = self.tradeoff.tradeoff if tradeoff is None else TradeoffConfig(tradeoff).tradeoff
+        costs = self.costs(execution_times_ms)
+        cost_scores = self.cost_scores(execution_times_ms)
+        perf_scores = self.performance_scores(execution_times_ms)
+        totals = {
+            size: t * cost_scores[size] + (1.0 - t) * perf_scores[size]
+            for size in cost_scores
+        }
+        # Deterministic tie-break: smaller memory size wins on equal scores.
+        ranking = tuple(sorted(totals, key=lambda size: (totals[size], size)))
+        return MemoryRecommendation(
+            selected_memory_mb=ranking[0],
+            tradeoff=t,
+            execution_times_ms={int(k): float(v) for k, v in execution_times_ms.items()},
+            costs_usd=costs,
+            cost_scores=cost_scores,
+            performance_scores=perf_scores,
+            total_scores=totals,
+            ranking=ranking,
+        )
+
+    def select(
+        self, execution_times_ms: dict[int, float], tradeoff: float | None = None
+    ) -> int:
+        """Return only the recommended memory size."""
+        return self.recommend(execution_times_ms, tradeoff=tradeoff).selected_memory_mb
+
+    def rank_of(
+        self,
+        selected_memory_mb: int,
+        true_execution_times_ms: dict[int, float],
+        tradeoff: float | None = None,
+    ) -> int:
+        """1-based rank of ``selected_memory_mb`` under the *true* times.
+
+        Used by the evaluation (Figure 7): rank 1 means the approach picked
+        the truly optimal size, rank 2 the second best, and so on.
+        """
+        truth = self.recommend(true_execution_times_ms, tradeoff=tradeoff)
+        if selected_memory_mb not in truth.ranking:
+            raise OptimizationError(
+                f"memory size {selected_memory_mb} not among evaluated sizes"
+            )
+        return truth.ranking.index(selected_memory_mb) + 1
+
+    # ------------------------------------------------------------------ utils
+    @staticmethod
+    def _validate(execution_times_ms: dict[int, float]) -> None:
+        if not execution_times_ms:
+            raise OptimizationError("execution_times_ms must not be empty")
+        if any(time <= 0 for time in execution_times_ms.values()):
+            raise OptimizationError("execution times must be positive")
+        if any(size <= 0 for size in execution_times_ms):
+            raise OptimizationError("memory sizes must be positive")

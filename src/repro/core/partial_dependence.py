@@ -1,0 +1,123 @@
+"""Partial-dependence analysis of the trained model (paper Figure 5).
+
+A partial-dependence plot shows the marginal effect of one feature on the
+model prediction: the feature is swept over a grid while all other features
+keep their observed values, and the predictions are averaged over the
+training set.  The paper uses it to explain that the predicted speedup mostly
+depends on CPU utilisation (user/system time per second), network activity
+(bytes received per second) and the memory used (heap used).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.core.model import SizelessModel
+
+
+@dataclass(frozen=True)
+class PartialDependence:
+    """Partial-dependence curve of one feature.
+
+    Attributes
+    ----------
+    feature_name:
+        Swept feature.
+    grid:
+        Feature values the curve was evaluated at (original scale).
+    normalized_grid:
+        Grid scaled to [0, 1] (the x-axis scaling used in Figure 5).
+    predicted_speedups:
+        Mapping from target memory size to the mean predicted *speedup*
+        (1 / ratio) at every grid point.
+    importance:
+        A scalar importance: the mean (over targets) peak-to-peak range of
+        the predicted speedup across the grid.
+    """
+
+    feature_name: str
+    grid: np.ndarray
+    normalized_grid: np.ndarray
+    predicted_speedups: dict[int, np.ndarray]
+    importance: float
+
+
+def partial_dependence(
+    model: SizelessModel,
+    features: np.ndarray,
+    feature_name: str,
+    n_grid_points: int = 20,
+) -> PartialDependence:
+    """Compute the partial dependence of one feature for a trained model.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.model.SizelessModel`.
+    features:
+        The training feature matrix (rows = functions) the marginalisation
+        averages over.
+    feature_name:
+        Name of the feature to sweep (must be in the model's feature set).
+    n_grid_points:
+        Number of evenly spaced grid points between the observed minimum and
+        maximum of the feature.
+    """
+    if not model.is_fitted:
+        raise ModelError("partial dependence requires a fitted model")
+    features = np.asarray(features, dtype=float)
+    names = list(model.config.feature_names)
+    if feature_name not in names:
+        raise ModelError(f"feature {feature_name!r} is not used by the model")
+    if features.ndim != 2 or features.shape[1] != len(names):
+        raise ModelError("features must match the model's feature matrix shape")
+    if n_grid_points < 2:
+        raise ModelError("n_grid_points must be at least 2")
+
+    column = names.index(feature_name)
+    low = float(features[:, column].min())
+    high = float(features[:, column].max())
+    if high <= low:
+        high = low + 1.0  # constant feature: produce a flat, well-defined curve
+    grid = np.linspace(low, high, n_grid_points)
+
+    per_target: dict[int, list[float]] = {size: [] for size in model.target_memory_sizes_mb}
+    for value in grid:
+        modified = features.copy()
+        modified[:, column] = value
+        ratios = model.predict_ratios(modified)
+        speedups = 1.0 / np.maximum(ratios, 1e-6)
+        mean_speedups = speedups.mean(axis=0)
+        for size, speedup in zip(model.target_memory_sizes_mb, mean_speedups):
+            per_target[size].append(float(speedup))
+
+    predicted = {size: np.array(values) for size, values in per_target.items()}
+    importance = float(
+        np.mean([values.max() - values.min() for values in predicted.values()])
+    )
+    normalized = (grid - grid.min()) / (grid.max() - grid.min())
+    return PartialDependence(
+        feature_name=feature_name,
+        grid=grid,
+        normalized_grid=normalized,
+        predicted_speedups=predicted,
+        importance=importance,
+    )
+
+
+def feature_importances(
+    model: SizelessModel, features: np.ndarray, n_grid_points: int = 10
+) -> dict[str, float]:
+    """Partial-dependence-based importance for every model feature.
+
+    Returns a mapping sorted by descending importance; the top entries
+    correspond to the six features shown in paper Figure 5.
+    """
+    importances = {
+        name: partial_dependence(model, features, name, n_grid_points=n_grid_points).importance
+        for name in model.config.feature_names
+    }
+    return dict(sorted(importances.items(), key=lambda item: item[1], reverse=True))

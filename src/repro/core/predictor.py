@@ -1,0 +1,108 @@
+"""The online-phase API: monitoring data in, memory recommendation out.
+
+:class:`SizelessPredictor` bundles one or more trained per-base-size models
+with the memory-size optimizer.  Given the monitoring summary of a production
+function collected at a single memory size, it predicts the execution time at
+every other size and recommends the optimal size for a chosen cost/performance
+trade-off — the complete online phase of paper Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.core.model import SizelessModel
+from repro.core.optimizer import MemoryRecommendation, MemorySizeOptimizer, TradeoffConfig
+from repro.monitoring.aggregation import MonitoringSummary
+from repro.simulation.pricing import PricingModel
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """Execution-time predictions for one function.
+
+    Attributes
+    ----------
+    function_name:
+        The monitored function.
+    base_memory_mb:
+        Memory size the monitoring data was collected at.
+    execution_times_ms:
+        Predicted (and, for the base size, observed) execution time per size.
+    """
+
+    function_name: str
+    base_memory_mb: int
+    execution_times_ms: dict[int, float]
+
+
+class SizelessPredictor:
+    """Predicts execution times across memory sizes and recommends a size."""
+
+    def __init__(
+        self,
+        models: dict[int, SizelessModel] | SizelessModel,
+        pricing: PricingModel | None = None,
+        default_tradeoff: float = 0.75,
+    ) -> None:
+        if isinstance(models, SizelessModel):
+            models = {models.base_memory_mb: models}
+        if not models:
+            raise ModelError("SizelessPredictor needs at least one trained model")
+        for base_size, model in models.items():
+            if not model.is_fitted:
+                raise ModelError(f"model for base size {base_size} MB is not fitted")
+            if int(base_size) != int(model.base_memory_mb):
+                raise ModelError(
+                    f"model registered under {base_size} MB reports base size "
+                    f"{model.base_memory_mb} MB"
+                )
+        self._models = {int(size): model for size, model in models.items()}
+        self.pricing = pricing if pricing is not None else PricingModel()
+        self.optimizer = MemorySizeOptimizer(
+            pricing=self.pricing, tradeoff=TradeoffConfig(default_tradeoff)
+        )
+
+    # ------------------------------------------------------------------ props
+    @property
+    def base_memory_sizes_mb(self) -> list[int]:
+        """Base sizes for which a trained model is available."""
+        return sorted(self._models)
+
+    def model_for(self, base_memory_mb: int) -> SizelessModel:
+        """Return the model trained for the given base size."""
+        try:
+            return self._models[int(base_memory_mb)]
+        except KeyError:
+            raise ModelError(
+                f"no model trained for base size {base_memory_mb} MB "
+                f"(available: {self.base_memory_sizes_mb})"
+            ) from None
+
+    # ---------------------------------------------------------------- predict
+    def predict(self, summary: MonitoringSummary) -> PredictionResult:
+        """Predict execution times at all sizes from one monitoring summary."""
+        model = self.model_for(int(summary.memory_mb))
+        times = model.predict_execution_times(summary)
+        return PredictionResult(
+            function_name=summary.function_name,
+            base_memory_mb=int(summary.memory_mb),
+            execution_times_ms=times,
+        )
+
+    def recommend(
+        self, summary: MonitoringSummary, tradeoff: float | None = None
+    ) -> MemoryRecommendation:
+        """Predict and run the memory-size optimization in one call."""
+        prediction = self.predict(summary)
+        return self.optimizer.recommend(prediction.execution_times_ms, tradeoff=tradeoff)
+
+    def recommend_many(
+        self, summaries: list[MonitoringSummary], tradeoff: float | None = None
+    ) -> dict[str, MemoryRecommendation]:
+        """Recommend a size for several functions, keyed by function name."""
+        return {
+            summary.function_name: self.recommend(summary, tradeoff=tradeoff)
+            for summary in summaries
+        }

@@ -1,0 +1,179 @@
+"""Training pipeline: matrices, cross-validation (Table 3), final training.
+
+This module turns a :class:`~repro.dataset.schema.MeasurementDataset` into
+the numpy matrices the regression model consumes, runs the repeated k-fold
+cross-validation the paper uses to compare base memory sizes, and trains the
+final per-base-size models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.core.features import FeatureExtractor
+from repro.core.model import SizelessModel, SizelessModelConfig, default_network_config
+from repro.dataset.schema import MeasurementDataset
+from repro.ml.metrics import regression_report
+from repro.ml.network import NetworkConfig
+from repro.ml.validation import RepeatedKFold
+
+
+@dataclass(frozen=True)
+class TrainingMatrices:
+    """Feature / target matrices for one base memory size.
+
+    Attributes
+    ----------
+    base_memory_mb:
+        The base size the features were monitored at.
+    target_memory_sizes_mb:
+        Target sizes in column order of ``ratios``.
+    feature_names:
+        Feature names in column order of ``features``.
+    features:
+        ``(n_functions, n_features)`` feature matrix.
+    ratios:
+        ``(n_functions, n_targets)`` execution-time ratios (target / base).
+    base_execution_times_ms:
+        Mean execution time at the base size for every function (used to
+        convert predicted ratios back to absolute times).
+    function_names:
+        Function name of each row.
+    """
+
+    base_memory_mb: int
+    target_memory_sizes_mb: tuple[int, ...]
+    feature_names: tuple[str, ...]
+    features: np.ndarray
+    ratios: np.ndarray
+    base_execution_times_ms: np.ndarray
+    function_names: tuple[str, ...]
+
+    @property
+    def n_samples(self) -> int:
+        """Number of functions in the matrices."""
+        return len(self.function_names)
+
+
+def build_training_matrices(
+    dataset: MeasurementDataset,
+    base_memory_mb: int = 256,
+    target_memory_sizes_mb: tuple[int, ...] | None = None,
+    feature_names: tuple[str, ...] | None = None,
+) -> TrainingMatrices:
+    """Build the feature/target matrices for one base memory size.
+
+    Functions missing a measurement at the base or any target size are
+    skipped; an empty result raises :class:`~repro.errors.DatasetError`.
+    """
+    if len(dataset) == 0:
+        raise DatasetError("cannot build training matrices from an empty dataset")
+    available_sizes = dataset.common_memory_sizes()
+    if target_memory_sizes_mb is None:
+        target_memory_sizes_mb = tuple(
+            size for size in available_sizes if size != base_memory_mb
+        )
+    if not target_memory_sizes_mb:
+        raise DatasetError("no target memory sizes available")
+    extractor = FeatureExtractor(feature_names) if feature_names else FeatureExtractor()
+
+    rows = []
+    targets = []
+    base_times = []
+    names = []
+    required = (base_memory_mb, *target_memory_sizes_mb)
+    for measurement in dataset:
+        if not measurement.has_all_sizes(required):
+            continue
+        base_summary = measurement.summary_at(base_memory_mb)
+        base_time = base_summary.mean_execution_time_ms
+        if base_time <= 0:
+            continue
+        rows.append(extractor.extract(base_summary))
+        targets.append(
+            [
+                measurement.execution_time_ms(target) / base_time
+                for target in target_memory_sizes_mb
+            ]
+        )
+        base_times.append(base_time)
+        names.append(measurement.function_name)
+    if not rows:
+        raise DatasetError(
+            f"no function in the dataset has measurements at all of {list(required)}"
+        )
+    return TrainingMatrices(
+        base_memory_mb=int(base_memory_mb),
+        target_memory_sizes_mb=tuple(int(size) for size in target_memory_sizes_mb),
+        feature_names=extractor.feature_names,
+        features=np.vstack(rows),
+        ratios=np.array(targets, dtype=float),
+        base_execution_times_ms=np.array(base_times, dtype=float),
+        function_names=tuple(names),
+    )
+
+
+def cross_validate_base_size(
+    dataset: MeasurementDataset,
+    base_memory_mb: int,
+    network_config: NetworkConfig | None = None,
+    n_splits: int = 5,
+    n_repeats: int = 10,
+    feature_names: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Repeated k-fold cross-validation for one base size (paper Table 3).
+
+    Returns the mean MSE, MAPE, R^2 and explained variance over all folds.
+    The paper uses ten iterations of five-fold cross-validation; reduce
+    ``n_repeats`` for quicker runs.
+    """
+    matrices = build_training_matrices(
+        dataset, base_memory_mb=base_memory_mb, feature_names=feature_names
+    )
+    network_config = network_config if network_config is not None else default_network_config()
+    splitter = RepeatedKFold(n_splits=n_splits, n_repeats=n_repeats, seed=seed)
+    reports = []
+    for train_idx, test_idx in splitter.split(matrices.n_samples):
+        model = SizelessModel(
+            SizelessModelConfig(
+                base_memory_mb=matrices.base_memory_mb,
+                target_memory_sizes_mb=matrices.target_memory_sizes_mb,
+                feature_names=matrices.feature_names,
+                network=network_config,
+            )
+        )
+        model.fit(matrices.features[train_idx], matrices.ratios[train_idx])
+        predicted = model.predict_ratios(matrices.features[test_idx])
+        reports.append(regression_report(matrices.ratios[test_idx], predicted))
+    return {
+        key: float(np.mean([report[key] for report in reports])) for key in reports[0]
+    }
+
+
+def train_model(
+    dataset: MeasurementDataset,
+    base_memory_mb: int = 256,
+    network_config: NetworkConfig | None = None,
+    feature_names: tuple[str, ...] | None = None,
+    target_memory_sizes_mb: tuple[int, ...] | None = None,
+) -> SizelessModel:
+    """Train the final model for one base size on the full dataset."""
+    matrices = build_training_matrices(
+        dataset,
+        base_memory_mb=base_memory_mb,
+        target_memory_sizes_mb=target_memory_sizes_mb,
+        feature_names=feature_names,
+    )
+    config = SizelessModelConfig(
+        base_memory_mb=matrices.base_memory_mb,
+        target_memory_sizes_mb=matrices.target_memory_sizes_mb,
+        feature_names=matrices.feature_names,
+        network=network_config if network_config is not None else default_network_config(),
+    )
+    model = SizelessModel(config)
+    model.fit(matrices.features, matrices.ratios)
+    return model

@@ -1,0 +1,31 @@
+"""Dataset generation: the measurement harness and training-dataset builder.
+
+The paper measures 2 000 synthetic functions across six memory sizes (10
+minutes at 30 req/s each) with a Go harness driving Vegeta.  This package is
+the equivalent for the simulated platform:
+
+- :mod:`repro.dataset.schema`     -- :class:`FunctionMeasurement` (one function
+  measured at several sizes) and :class:`MeasurementDataset` (a collection).
+- :mod:`repro.dataset.harness`    -- the measurement harness: deploy, drive
+  the open-loop load, discard warm-up, aggregate.
+- :mod:`repro.dataset.generation` -- end-to-end training-dataset generation
+  from the synthetic function generator.
+- :mod:`repro.dataset.io`         -- JSON/CSV persistence of datasets.
+"""
+
+from repro.dataset.generation import DatasetGenerationConfig, TrainingDatasetGenerator
+from repro.dataset.harness import HarnessConfig, MeasurementHarness
+from repro.dataset.io import load_dataset_json, save_dataset_csv, save_dataset_json
+from repro.dataset.schema import FunctionMeasurement, MeasurementDataset
+
+__all__ = [
+    "FunctionMeasurement",
+    "MeasurementDataset",
+    "MeasurementHarness",
+    "HarnessConfig",
+    "TrainingDatasetGenerator",
+    "DatasetGenerationConfig",
+    "save_dataset_json",
+    "load_dataset_json",
+    "save_dataset_csv",
+]

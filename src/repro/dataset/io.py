@@ -1,0 +1,103 @@
+"""Persistence of measurement datasets (JSON for fidelity, CSV for analysis).
+
+The paper publishes its 12 000-measurement dataset in a CodeOcean capsule;
+these helpers let users export and re-import the simulator-generated
+equivalent so that model training can be decoupled from dataset generation.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.errors import DatasetError
+from repro.dataset.schema import FunctionMeasurement, MeasurementDataset, summary_from_flat
+from repro.monitoring.metrics import METRIC_NAMES
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset_json(dataset: MeasurementDataset, path: str | Path) -> Path:
+    """Serialise a dataset to a JSON file and return the written path."""
+    path = Path(path)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "description": dataset.description,
+        "metadata": dataset.metadata,
+        "measurements": [
+            {
+                "function_name": measurement.function_name,
+                "application": measurement.application,
+                "segments": [list(pair) for pair in measurement.segments],
+                "summaries": {
+                    str(memory_mb): {
+                        "n_invocations": summary.n_invocations,
+                        "values": summary.as_flat_dict(),
+                    }
+                    for memory_mb, summary in sorted(measurement.summaries.items())
+                },
+            }
+            for measurement in dataset.measurements
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    return path
+
+
+def load_dataset_json(path: str | Path) -> MeasurementDataset:
+    """Load a dataset previously written by :func:`save_dataset_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file {path} does not exist")
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise DatasetError(
+            f"unsupported dataset format version {payload.get('format_version')!r}"
+        )
+    dataset = MeasurementDataset(
+        description=payload.get("description", ""), metadata=payload.get("metadata", {})
+    )
+    for entry in payload.get("measurements", []):
+        measurement = FunctionMeasurement(
+            function_name=entry["function_name"],
+            application=entry.get("application", "synthetic"),
+            segments=tuple((name, float(value)) for name, value in entry.get("segments", [])),
+        )
+        for memory_str, summary_entry in entry.get("summaries", {}).items():
+            summary = summary_from_flat(
+                function_name=entry["function_name"],
+                memory_mb=float(memory_str),
+                flat=summary_entry["values"],
+                n_invocations=int(summary_entry["n_invocations"]),
+            )
+            measurement.add_summary(int(memory_str), summary)
+        dataset.add(measurement)
+    return dataset
+
+
+def save_dataset_csv(dataset: MeasurementDataset, path: str | Path) -> Path:
+    """Export a dataset to a flat CSV (one row per function and memory size)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames = ["function_name", "application", "memory_mb", "n_invocations"]
+    for metric in METRIC_NAMES:
+        fieldnames.extend([f"{metric}_mean", f"{metric}_std", f"{metric}_cv"])
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for measurement in dataset.measurements:
+            for memory_mb in measurement.memory_sizes:
+                summary = measurement.summary_at(memory_mb)
+                row: dict[str, object] = {
+                    "function_name": measurement.function_name,
+                    "application": measurement.application,
+                    "memory_mb": memory_mb,
+                    "n_invocations": summary.n_invocations,
+                }
+                row.update(summary.as_flat_dict())
+                writer.writerow(row)
+    return path

@@ -1,0 +1,31 @@
+"""Reproduction of every table and figure in the paper's evaluation.
+
+Each module reproduces one artefact of the paper and returns plain data
+structures (lists of row dictionaries) that the benchmarks print and
+``EXPERIMENTS.md`` records:
+
+====================  =====================================================
+Module                Paper artefact
+====================  =====================================================
+``figure1_motivation``        Figure 1 — execution time & cost vs memory size
+``figure3_stability``         Figure 3 — metric stability vs experiment duration
+``figure4_feature_selection`` Figure 4 — sequential forward feature selection
+``table2_hyperparameters``    Table 2 — hyperparameter grid search
+``table3_basesize``           Table 3 — cross-validated accuracy per base size
+``figure5_partial_dependence``Figure 5 — partial dependence of the top features
+``figure6_predictions``       Figure 6 — measured vs predicted execution times
+``tables4_7_prediction_error``Tables 4-7 — relative prediction error per function
+``figure7_selection_rank``    Figure 7 — rank of the selected memory size
+``table8_savings``            Table 8 — cost savings and speedup per application
+``ablations``                 Extra — baseline comparison and sensitivity studies
+====================  =====================================================
+
+All experiments share an :class:`~repro.experiments.context.ExperimentContext`
+that caches the (expensive) training dataset, trained models and case-study
+measurements, so running the full suite costs little more than running the
+slowest single experiment.
+"""
+
+from repro.experiments.context import ExperimentContext, ExperimentScale
+
+__all__ = ["ExperimentContext", "ExperimentScale"]

@@ -1,0 +1,158 @@
+"""Figure 1 — execution time and cost per execution vs memory size.
+
+The motivating example shows four functions with qualitatively different
+scaling behaviour: *InvertMatrix* (CPU-bound, scales almost linearly),
+*PrimeNumbers* (CPU-bound, scales super-linearly at small sizes), *DynamoDB*
+(service-bound, scales until the CPU portion vanishes, then cost explodes),
+and *API-Call* (external-call-bound, barely scales at all).
+
+The reproduction measures the equivalent four functions on the simulator and
+reports time and cost per memory size; the expected *shape* checks are in the
+result's ``observations``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataset.harness import HarnessConfig, MeasurementHarness
+from repro.simulation.platform import PlatformConfig, ServerlessPlatform
+from repro.simulation.pricing import PricingModel
+from repro.simulation.profile import ResourceProfile, ServiceCall
+from repro.workloads.function import FunctionSpec
+
+#: The four motivating functions, modelled after the descriptions in Section 2.
+MOTIVATING_FUNCTIONS: tuple[FunctionSpec, ...] = (
+    FunctionSpec(
+        name="InvertMatrix",
+        application="motivation",
+        profile=ResourceProfile(
+            cpu_user_ms=700.0,
+            cpu_system_ms=6.0,
+            memory_working_set_mb=110.0,
+            heap_allocated_mb=90.0,
+            blocking_fraction=0.95,
+        ),
+    ),
+    FunctionSpec(
+        name="PrimeNumbers",
+        application="motivation",
+        profile=ResourceProfile(
+            cpu_user_ms=2600.0,
+            cpu_system_ms=4.0,
+            memory_working_set_mb=30.0,
+            heap_allocated_mb=20.0,
+            blocking_fraction=0.98,
+        ),
+    ),
+    FunctionSpec(
+        name="DynamoDB",
+        application="motivation",
+        profile=ResourceProfile(
+            cpu_user_ms=18.0,
+            cpu_system_ms=3.0,
+            memory_working_set_mb=24.0,
+            heap_allocated_mb=16.0,
+            service_calls=(
+                ServiceCall("dynamodb", "query", request_bytes=1024.0, response_bytes=6144.0, calls=3),
+            ),
+            blocking_fraction=0.25,
+        ),
+    ),
+    FunctionSpec(
+        name="API-Call",
+        application="motivation",
+        profile=ResourceProfile(
+            cpu_user_ms=6.0,
+            cpu_system_ms=2.0,
+            memory_working_set_mb=20.0,
+            heap_allocated_mb=12.0,
+            service_calls=(
+                ServiceCall("external_api", "invoke", request_bytes=1024.0, response_bytes=8192.0, calls=1),
+            ),
+            blocking_fraction=0.15,
+        ),
+    ),
+)
+
+
+@dataclass
+class Figure1Result:
+    """Per-function execution time and cost for every memory size."""
+
+    rows: list[dict[str, float | str]] = field(default_factory=list)
+    observations: dict[str, bool] = field(default_factory=dict)
+
+    def times_for(self, function_name: str) -> dict[int, float]:
+        """Execution time per memory size of one motivating function."""
+        return {
+            int(row["memory_mb"]): float(row["execution_time_ms"])
+            for row in self.rows
+            if row["function"] == function_name
+        }
+
+    def costs_for(self, function_name: str) -> dict[int, float]:
+        """Cost (cents) per memory size of one motivating function."""
+        return {
+            int(row["memory_mb"]): float(row["cost_cents"])
+            for row in self.rows
+            if row["function"] == function_name
+        }
+
+
+def run(
+    memory_sizes_mb: tuple[int, ...] = (128, 256, 512, 1024, 1536, 3008),
+    invocations_per_size: int = 25,
+    seed: int = 11,
+) -> Figure1Result:
+    """Reproduce Figure 1 on the simulator.
+
+    The paper's figure uses 1 536 MB as one of its sizes (data from
+    Casalboni's Lambda power-tuning measurements), so the default size list
+    here follows the figure rather than the training-dataset sizes.
+    """
+    platform = ServerlessPlatform(
+        config=PlatformConfig(allowed_memory_sizes_mb=None, seed=seed)
+    )
+    harness = MeasurementHarness(
+        platform=platform,
+        config=HarnessConfig(
+            memory_sizes_mb=memory_sizes_mb,
+            max_invocations_per_size=invocations_per_size,
+            seed=seed + 1,
+        ),
+    )
+    pricing = PricingModel()
+    result = Figure1Result()
+    for function in MOTIVATING_FUNCTIONS:
+        measurement = harness.measure_function(function, memory_sizes_mb=memory_sizes_mb)
+        for memory_mb in memory_sizes_mb:
+            time_ms = measurement.execution_time_ms(memory_mb)
+            result.rows.append(
+                {
+                    "function": function.name,
+                    "memory_mb": int(memory_mb),
+                    "execution_time_ms": float(time_ms),
+                    "cost_cents": pricing.execution_cost_cents(time_ms, memory_mb),
+                }
+            )
+
+    smallest, largest = memory_sizes_mb[0], memory_sizes_mb[-1]
+    invert = result.times_for("InvertMatrix")
+    prime = result.times_for("PrimeNumbers")
+    dynamo = result.times_for("DynamoDB")
+    api = result.times_for("API-Call")
+    api_costs = result.costs_for("API-Call")
+    dynamo_costs = result.costs_for("DynamoDB")
+    result.observations = {
+        # CPU-bound functions speed up by an order of magnitude.
+        "invert_matrix_scales": invert[smallest] / invert[largest] > 5.0,
+        "prime_numbers_scales": prime[smallest] / prime[largest] > 5.0,
+        # The DynamoDB function stops improving at large sizes (last step < 35 %).
+        "dynamodb_flattens": dynamo[memory_sizes_mb[-2]] / dynamo[largest] < 1.35,
+        # The API-call function barely improves but its cost explodes.
+        "api_call_flat": api[smallest] / api[largest] < 2.5,
+        "api_call_cost_explodes": api_costs[largest] / api_costs[smallest] > 4.0,
+        "dynamodb_cost_increases": dynamo_costs[largest] / dynamo_costs[smallest] > 2.0,
+    }
+    return result

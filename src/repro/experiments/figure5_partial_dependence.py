@@ -1,0 +1,72 @@
+"""Figure 5 — partial dependence of the most impactful features.
+
+The paper plots the marginal effect of the six most impactful features on the
+predicted speedup for a model with base size 128 MB, and concludes that the
+predicted speedup mostly depends on CPU utilisation (user/system time per
+second), network activity (bytes received per second, negatively correlated)
+and the memory used (heap used).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.partial_dependence import PartialDependence, feature_importances, partial_dependence
+from repro.experiments.context import ExperimentContext
+
+
+@dataclass
+class Figure5Result:
+    """Feature importances and partial-dependence curves."""
+
+    base_memory_mb: int
+    importances: dict[str, float] = field(default_factory=dict)
+    top_features: list[str] = field(default_factory=list)
+    curves: dict[str, PartialDependence] = field(default_factory=dict)
+    observations: dict[str, bool] = field(default_factory=dict)
+
+
+def run(
+    context: ExperimentContext | None = None,
+    base_memory_mb: int = 128,
+    n_top_features: int = 6,
+    n_grid_points: int = 12,
+) -> Figure5Result:
+    """Compute feature importances and PD curves for the top features."""
+    context = context if context is not None else ExperimentContext()
+    model = context.model(base_memory_mb)
+    matrices = context.training_matrices(base_memory_mb)
+
+    importances = feature_importances(model, matrices.features, n_grid_points=n_grid_points)
+    top = list(importances)[:n_top_features]
+    curves = {
+        name: partial_dependence(model, matrices.features, name, n_grid_points=n_grid_points)
+        for name in top
+    }
+
+    result = Figure5Result(
+        base_memory_mb=base_memory_mb,
+        importances=importances,
+        top_features=top,
+        curves=curves,
+    )
+
+    # Paper observations: CPU-utilisation features dominate, and a higher CPU
+    # utilisation implies a higher predicted speedup at larger sizes.
+    cpu_features = {"user_cpu_time_per_second", "system_cpu_time_per_second"}
+    cpu_in_top = bool(cpu_features & set(top[: max(3, n_top_features // 2)]))
+    cpu_positive = True
+    for name in cpu_features & set(curves):
+        curve = curves[name]
+        largest_size = max(curve.predicted_speedups)
+        speedups = curve.predicted_speedups[largest_size]
+        cpu_positive = cpu_positive and bool(
+            np.polyfit(curve.normalized_grid, speedups, 1)[0] > 0
+        )
+    result.observations = {
+        "cpu_utilisation_among_top_features": cpu_in_top,
+        "higher_cpu_utilisation_higher_speedup": cpu_positive,
+    }
+    return result

@@ -1,0 +1,107 @@
+"""Figure 6 — measured vs predicted execution time for case-study functions.
+
+The paper plots, for two functions of each application, the measured execution
+time at every memory size together with the predictions obtained from each
+possible base size.  The reproduction computes the same data for every
+case-study function (the benchmark prints the eight functions shown in the
+paper's figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.context import ExperimentContext
+
+#: The eight (application, function) pairs shown in the paper's Figure 6.
+PAPER_FIGURE6_FUNCTIONS: tuple[tuple[str, str], ...] = (
+    ("Airline Booking", "CreateCharge"),
+    ("Airline Booking", "NotifyBooking"),
+    ("Facial Recognition", "PersistMetadata"),
+    ("Facial Recognition", "FaceSearch"),
+    ("Event Processing", "EventInserter"),
+    ("Event Processing", "IngestEvent"),
+    ("Hello Retail", "EventWriter"),
+    ("Hello Retail", "ProductCatalogApi"),
+)
+
+
+@dataclass
+class Figure6Entry:
+    """Measured and predicted execution times of one function."""
+
+    application: str
+    function: str
+    measured_ms: dict[int, float] = field(default_factory=dict)
+    #: base size -> {target size -> predicted ms}
+    predicted_ms: dict[int, dict[int, float]] = field(default_factory=dict)
+
+    def relative_error(self, base_memory_mb: int) -> dict[int, float]:
+        """Relative prediction error per target size for one base size."""
+        predictions = self.predicted_ms[base_memory_mb]
+        return {
+            size: abs(predictions[size] - measured) / measured
+            for size, measured in self.measured_ms.items()
+            if size != base_memory_mb and size in predictions
+        }
+
+
+@dataclass
+class Figure6Result:
+    """All per-function entries of the Figure-6 reproduction."""
+
+    entries: list[Figure6Entry] = field(default_factory=list)
+
+    def entry(self, application: str, function: str) -> Figure6Entry:
+        """Look up one function's entry."""
+        for candidate in self.entries:
+            if candidate.application == application and candidate.function == function:
+                return candidate
+        raise KeyError(f"no Figure-6 entry for {application}/{function}")
+
+    def paper_subset(self) -> list[Figure6Entry]:
+        """The eight functions shown in the paper's figure (when present)."""
+        subset = []
+        for application, function in PAPER_FIGURE6_FUNCTIONS:
+            try:
+                subset.append(self.entry(application, function))
+            except KeyError:
+                continue
+        return subset
+
+
+def run(
+    context: ExperimentContext | None = None,
+    base_sizes_mb: tuple[int, ...] | None = None,
+    functions: tuple[tuple[str, str], ...] | None = None,
+) -> Figure6Result:
+    """Compute measured and predicted times for case-study functions.
+
+    Parameters
+    ----------
+    context:
+        Shared experiment context.
+    base_sizes_mb:
+        Base sizes to predict from (defaults to all six, like the figure).
+    functions:
+        Restrict to specific (application, function) pairs; default is every
+        function of every application.
+    """
+    context = context if context is not None else ExperimentContext()
+    bases = base_sizes_mb if base_sizes_mb is not None else context.scale.memory_sizes_mb
+    result = Figure6Result()
+    for application in context.applications():
+        for spec in application.functions:
+            if functions is not None and (application.name, spec.name) not in functions:
+                continue
+            entry = Figure6Entry(
+                application=application.name,
+                function=spec.name,
+                measured_ms=context.true_execution_times(application.name, spec.name),
+            )
+            for base in bases:
+                entry.predicted_ms[int(base)] = context.predicted_execution_times(
+                    application.name, spec.name, base_memory_mb=int(base)
+                )
+            result.entries.append(entry)
+    return result

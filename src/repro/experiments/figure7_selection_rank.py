@@ -1,0 +1,80 @@
+"""Figure 7 — rank of the memory size selected by the approach.
+
+For three trade-off parameters (t = 0.75, 0.5, 0.25) the paper compares the
+memory size selected from the *predicted* execution times against the ranking
+induced by the *measured* execution times, and reports how many functions end
+up with the best, second-best, ... sixth-best size.  Overall the approach
+selects the optimal size for 79.0 % and the second-best for 12.3 % of the
+functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.context import ExperimentContext
+
+#: Optimal-selection rates reported by the paper per trade-off (percent).
+PAPER_OPTIMAL_RATE_PERCENT: dict[float, float] = {0.75: 74.0, 0.5: 81.4, 0.25: 81.4}
+
+#: Overall optimal / second-best rates reported by the paper (percent).
+PAPER_OVERALL_OPTIMAL_PERCENT = 79.0
+PAPER_OVERALL_SECOND_BEST_PERCENT = 12.3
+
+
+@dataclass
+class Figure7Result:
+    """Selection-rank histograms per trade-off parameter."""
+
+    base_memory_mb: int
+    #: tradeoff -> {application -> list of ranks (one per function)}
+    ranks: dict[float, dict[str, list[int]]] = field(default_factory=dict)
+
+    def histogram(self, tradeoff: float) -> dict[int, int]:
+        """Number of functions per rank for one trade-off (the Figure-7 bars)."""
+        counts: dict[int, int] = {}
+        for application_ranks in self.ranks[tradeoff].values():
+            for rank in application_ranks:
+                counts[rank] = counts.get(rank, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def optimal_rate_percent(self, tradeoff: float) -> float:
+        """Share of functions for which the truly optimal size was selected."""
+        histogram = self.histogram(tradeoff)
+        total = sum(histogram.values())
+        return 100.0 * histogram.get(1, 0) / total if total else float("nan")
+
+    def rate_percent(self, rank: int) -> float:
+        """Share of functions (over all trade-offs) that landed on ``rank``."""
+        hits = 0
+        total = 0
+        for tradeoff in self.ranks:
+            histogram = self.histogram(tradeoff)
+            hits += histogram.get(rank, 0)
+            total += sum(histogram.values())
+        return 100.0 * hits / total if total else float("nan")
+
+
+def run(
+    context: ExperimentContext | None = None,
+    tradeoffs: tuple[float, ...] = (0.75, 0.5, 0.25),
+    base_memory_mb: int = 256,
+) -> Figure7Result:
+    """Compute the selection-rank histograms for the given trade-offs."""
+    context = context if context is not None else ExperimentContext()
+    result = Figure7Result(base_memory_mb=base_memory_mb)
+    for tradeoff in tradeoffs:
+        optimizer = context.optimizer(tradeoff)
+        per_application: dict[str, list[int]] = {}
+        for application in context.applications():
+            ranks = []
+            for spec in application.functions:
+                truth = context.true_execution_times(application.name, spec.name)
+                predicted = context.predicted_execution_times(
+                    application.name, spec.name, base_memory_mb=base_memory_mb
+                )
+                selected = optimizer.recommend(predicted).selected_memory_mb
+                ranks.append(optimizer.rank_of(selected, truth))
+            per_application[application.name] = ranks
+        result.ranks[tradeoff] = per_application
+    return result

@@ -1,0 +1,92 @@
+"""Tables 4-7 — relative prediction error per function (base size 256 MB).
+
+One table per case-study application: for every function, the relative error
+of the predicted execution time at each target size when predicting from
+256 MB monitoring data, plus the per-application and overall averages.  The
+paper reports an overall average prediction error of 15.3 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+
+#: Per-application "All functions" rows reported by the paper (percent).
+PAPER_ALL_FUNCTION_ROWS: dict[str, dict[int, float]] = {
+    "Airline Booking": {128: 7.0, 512: 9.3, 1024: 14.8, 2048: 15.0, 3008: 14.6},
+    "Facial Recognition": {128: 12.7, 512: 8.2, 1024: 15.0, 2048: 10.5, 3008: 9.9},
+    "Event Processing": {128: 11.4, 512: 20.5, 1024: 32.8, 2048: 34.1, 3008: 34.2},
+    "Hello Retail": {128: 9.8, 512: 6.9, 1024: 9.4, 2048: 14.5, 3008: 14.8},
+}
+
+#: Overall average prediction error reported by the paper (percent).
+PAPER_OVERALL_ERROR_PERCENT = 15.3
+
+
+@dataclass
+class PredictionErrorTable:
+    """One application's table (paper Tables 4, 5, 6 or 7)."""
+
+    application: str
+    base_memory_mb: int
+    #: function name -> {target size -> relative error in percent}
+    per_function: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def all_functions_row(self) -> dict[int, float]:
+        """Mean error per target size over all functions (the table's last row)."""
+        sizes: dict[int, list[float]] = {}
+        for errors in self.per_function.values():
+            for size, value in errors.items():
+                sizes.setdefault(size, []).append(value)
+        return {size: float(np.mean(values)) for size, values in sorted(sizes.items())}
+
+    def mean_error_percent(self) -> float:
+        """Mean error over all functions and target sizes."""
+        values = [value for errors in self.per_function.values() for value in errors.values()]
+        return float(np.mean(values)) if values else float("nan")
+
+
+@dataclass
+class Tables4To7Result:
+    """All four application tables plus the overall average."""
+
+    base_memory_mb: int
+    tables: dict[str, PredictionErrorTable] = field(default_factory=dict)
+
+    def overall_error_percent(self) -> float:
+        """The paper's headline number: average prediction error across everything."""
+        values = [
+            value
+            for table in self.tables.values()
+            for errors in table.per_function.values()
+            for value in errors.values()
+        ]
+        return float(np.mean(values)) if values else float("nan")
+
+
+def run(
+    context: ExperimentContext | None = None,
+    base_memory_mb: int = 256,
+) -> Tables4To7Result:
+    """Compute the relative prediction error tables for all applications."""
+    context = context if context is not None else ExperimentContext()
+    result = Tables4To7Result(base_memory_mb=base_memory_mb)
+    for application in context.applications():
+        table = PredictionErrorTable(
+            application=application.name, base_memory_mb=base_memory_mb
+        )
+        for spec in application.functions:
+            truth = context.true_execution_times(application.name, spec.name)
+            predicted = context.predicted_execution_times(
+                application.name, spec.name, base_memory_mb=base_memory_mb
+            )
+            table.per_function[spec.name] = {
+                size: 100.0 * abs(predicted[size] - truth[size]) / truth[size]
+                for size in truth
+                if size != base_memory_mb
+            }
+        result.tables[application.name] = table
+    return result

@@ -1,0 +1,71 @@
+"""From-scratch neural-network and model-selection substrate built on numpy.
+
+The paper trains a small feed-forward neural network (up to five layers of up
+to 256 neurons) with the Adam/SGD/Adagrad optimizers, MSE/MAE/MAPE losses and
+L2 regularisation, selected via grid search and evaluated with repeated k-fold
+cross-validation.  No deep-learning framework is available offline, so this
+package implements exactly that model family on top of numpy:
+
+- :mod:`repro.ml.activations`   -- ReLU, tanh, sigmoid, linear.
+- :mod:`repro.ml.initializers`  -- He / Glorot / uniform weight initialisers.
+- :mod:`repro.ml.layers`        -- dense layers with forward/backward passes.
+- :mod:`repro.ml.losses`        -- MSE, MAE, MAPE losses with gradients.
+- :mod:`repro.ml.optimizers`    -- SGD (momentum), Adam, Adagrad.
+- :mod:`repro.ml.network`       -- the :class:`~repro.ml.network.NeuralNetwork`
+  multi-layer perceptron with mini-batch training and L2 regularisation.
+- :mod:`repro.ml.scaling`       -- feature standardisation / min-max scaling.
+- :mod:`repro.ml.validation`    -- train/test split, k-fold, repeated k-fold.
+- :mod:`repro.ml.metrics`       -- regression quality metrics (MSE, MAPE, R^2,
+  explained variance).
+- :mod:`repro.ml.grid_search`   -- exhaustive hyperparameter grid search.
+- :mod:`repro.ml.linear`        -- closed-form linear / polynomial regression
+  (used by the BATCH-style baseline).
+"""
+
+from repro.ml.activations import Activation, get_activation
+from repro.ml.grid_search import GridSearch, GridSearchResult
+from repro.ml.layers import DenseLayer
+from repro.ml.linear import LinearRegression, PolynomialRegression
+from repro.ml.losses import Loss, get_loss
+from repro.ml.metrics import (
+    explained_variance_score,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    r2_score,
+    regression_report,
+)
+from repro.ml.network import NetworkConfig, NeuralNetwork
+from repro.ml.optimizers import Adagrad, Adam, Optimizer, SGD, get_optimizer
+from repro.ml.scaling import MinMaxScaler, StandardScaler
+from repro.ml.validation import KFold, RepeatedKFold, train_test_split
+
+__all__ = [
+    "Activation",
+    "get_activation",
+    "DenseLayer",
+    "Loss",
+    "get_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Adagrad",
+    "get_optimizer",
+    "NeuralNetwork",
+    "NetworkConfig",
+    "StandardScaler",
+    "MinMaxScaler",
+    "KFold",
+    "RepeatedKFold",
+    "train_test_split",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "r2_score",
+    "explained_variance_score",
+    "regression_report",
+    "GridSearch",
+    "GridSearchResult",
+    "LinearRegression",
+    "PolynomialRegression",
+]

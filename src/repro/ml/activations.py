@@ -1,0 +1,131 @@
+"""Activation functions with forward and backward passes.
+
+Each activation is a small stateless object exposing ``forward`` and
+``backward``.  ``backward`` receives the *input* of the forward pass and the
+upstream gradient and returns the gradient with respect to that input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Activation:
+    """Base class for activation functions."""
+
+    name = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the activation element-wise."""
+        raise NotImplementedError
+
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        """Return d(loss)/d(x) given d(loss)/d(forward(x))."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}()"
+
+
+class Linear(Activation):
+    """Identity activation, used for output layers of regression networks."""
+
+    name = "linear"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+
+class ReLU(Activation):
+    """Rectified linear unit: ``max(0, x)``."""
+
+    name = "relu"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * (x > 0.0)
+
+
+class LeakyReLU(Activation):
+    """Leaky ReLU with a configurable negative slope."""
+
+    name = "leaky_relu"
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        if negative_slope < 0:
+            raise ConfigurationError("negative_slope must be non-negative")
+        self.negative_slope = float(negative_slope)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0.0, x, self.negative_slope * x)
+
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * np.where(x > 0.0, 1.0, self.negative_slope)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent activation."""
+
+    name = "tanh"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        t = np.tanh(x)
+        return grad_output * (1.0 - t * t)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid activation."""
+
+    name = "sigmoid"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # Numerically stable sigmoid: split positive / negative branches.
+        out = np.empty_like(x, dtype=float)
+        positive = x >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        exp_x = np.exp(x[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        return out
+
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        s = self.forward(x)
+        return grad_output * s * (1.0 - s)
+
+
+_ACTIVATIONS: dict[str, type[Activation]] = {
+    "linear": Linear,
+    "identity": Linear,
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+}
+
+
+def get_activation(name: str | Activation) -> Activation:
+    """Resolve an activation by name (or pass an instance through).
+
+    Parameters
+    ----------
+    name:
+        One of ``"linear"``, ``"relu"``, ``"leaky_relu"``, ``"tanh"``,
+        ``"sigmoid"`` or an :class:`Activation` instance.
+    """
+    if isinstance(name, Activation):
+        return name
+    key = str(name).lower()
+    if key not in _ACTIVATIONS:
+        raise ConfigurationError(
+            f"unknown activation {name!r}; expected one of {sorted(_ACTIVATIONS)}"
+        )
+    return _ACTIVATIONS[key]()

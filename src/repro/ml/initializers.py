@@ -1,0 +1,41 @@
+"""Weight initialisation strategies for dense layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def he_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He (Kaiming) normal initialisation, suited for ReLU layers."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot (Xavier) uniform initialisation, suited for tanh/sigmoid layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def small_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Small uniform initialisation in ``[-0.05, 0.05]``."""
+    return rng.uniform(-0.05, 0.05, size=(fan_in, fan_out))
+
+
+_INITIALIZERS = {
+    "he_normal": he_normal,
+    "glorot_uniform": glorot_uniform,
+    "small_uniform": small_uniform,
+}
+
+
+def get_initializer(name: str):
+    """Return the initialiser function registered under ``name``."""
+    key = str(name).lower()
+    if key not in _INITIALIZERS:
+        raise ConfigurationError(
+            f"unknown initializer {name!r}; expected one of {sorted(_INITIALIZERS)}"
+        )
+    return _INITIALIZERS[key]

@@ -1,0 +1,112 @@
+"""Closed-form linear and polynomial regression.
+
+These models back the BATCH-style baseline (multivariable polynomial
+regression over sparse memory-size measurements, Section 6 of the paper) and
+provide a cheap sanity-check comparator for the neural network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ModelError
+
+
+class LinearRegression:
+    """Ordinary least squares with optional L2 (ridge) regularisation.
+
+    Solves ``min_w ||X w - y||^2 + alpha ||w||^2`` in closed form via the
+    normal equations (with a pseudo-inverse fallback for singular systems).
+    Supports multi-target ``y``.
+    """
+
+    def __init__(self, alpha: float = 0.0, fit_intercept: bool = True) -> None:
+        if alpha < 0:
+            raise ConfigurationError("alpha must be non-negative")
+        self.alpha = float(alpha)
+        self.fit_intercept = bool(fit_intercept)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        """Fit the model on features ``x`` and targets ``y``."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2:
+            raise ModelError("x must be 2-D")
+        single_target = y.ndim == 1
+        if single_target:
+            y = y.reshape(-1, 1)
+        if len(x) != len(y):
+            raise ModelError("x and y must contain the same number of samples")
+        if len(x) == 0:
+            raise ModelError("cannot fit on an empty dataset")
+
+        if self.fit_intercept:
+            design = np.hstack([x, np.ones((len(x), 1))])
+        else:
+            design = x
+        regularizer = self.alpha * np.eye(design.shape[1])
+        if self.fit_intercept:
+            regularizer[-1, -1] = 0.0  # never penalise the intercept
+        gram = design.T @ design + regularizer
+        try:
+            solution = np.linalg.solve(gram, design.T @ y)
+        except np.linalg.LinAlgError:
+            solution = np.linalg.pinv(gram) @ design.T @ y
+
+        if self.fit_intercept:
+            self.coef_ = solution[:-1]
+            self.intercept_ = solution[-1]
+        else:
+            self.coef_ = solution
+            self.intercept_ = np.zeros(y.shape[1])
+        self._single_target = single_target
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict targets for ``x``."""
+        if self.coef_ is None or self.intercept_ is None:
+            raise ModelError("predict() called before fit()")
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        pred = x @ self.coef_ + self.intercept_
+        if getattr(self, "_single_target", False):
+            return pred.ravel()
+        return pred
+
+
+class PolynomialRegression:
+    """Single-variable polynomial regression of configurable degree.
+
+    Used by the BATCH-style baseline to interpolate execution time over the
+    memory-size axis from a handful of measurements.
+    """
+
+    def __init__(self, degree: int = 2, alpha: float = 0.0) -> None:
+        if degree < 1:
+            raise ConfigurationError("degree must be at least 1")
+        self.degree = int(degree)
+        self.model = LinearRegression(alpha=alpha)
+        self._x_scale: float = 1.0
+
+    def _features(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float).ravel() / self._x_scale
+        return np.vstack([x**power for power in range(1, self.degree + 1)]).T
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "PolynomialRegression":
+        """Fit the polynomial to scalar inputs ``x`` and targets ``y``."""
+        x = np.asarray(x, dtype=float).ravel()
+        if len(x) < self.degree + 1:
+            raise ModelError(
+                f"need at least {self.degree + 1} points for degree {self.degree}"
+            )
+        # Scale x to ~[0, 1] so high powers stay numerically tame.
+        self._x_scale = float(np.max(np.abs(x))) or 1.0
+        self.model.fit(self._features(x), np.asarray(y, dtype=float))
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted polynomial at ``x``."""
+        return self.model.predict(self._features(x))

@@ -1,0 +1,105 @@
+"""Loss functions used in the paper's hyperparameter grid (Table 2).
+
+The grid search in the paper considers MSE, MAE, and MAPE; the selected loss
+is MAPE.  Each loss exposes ``value`` and ``gradient``; gradients include the
+1/n normalisation so layers can accumulate raw sums.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Denominator floor used by MAPE to avoid division by zero on tiny targets.
+MAPE_EPSILON = 1e-8
+
+
+class Loss:
+    """Base class for regression losses."""
+
+    name = "loss"
+
+    def value(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        """Return the scalar loss for a batch."""
+        raise NotImplementedError
+
+    def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+        """Return d(loss)/d(y_pred), same shape as ``y_pred``."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        y_true = np.asarray(y_true, dtype=float)
+        y_pred = np.asarray(y_pred, dtype=float)
+        if y_true.shape != y_pred.shape:
+            raise ConfigurationError(
+                f"y_true shape {y_true.shape} != y_pred shape {y_pred.shape}"
+            )
+        return y_true, y_pred
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}()"
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error: ``mean((y_pred - y_true)^2)``."""
+
+    name = "mse"
+
+    def value(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        y_true, y_pred = self._validate(y_true, y_pred)
+        return float(np.mean((y_pred - y_true) ** 2))
+
+    def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+        y_true, y_pred = self._validate(y_true, y_pred)
+        return 2.0 * (y_pred - y_true) / y_true.size
+
+
+class MeanAbsoluteError(Loss):
+    """Mean absolute error: ``mean(|y_pred - y_true|)``."""
+
+    name = "mae"
+
+    def value(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        y_true, y_pred = self._validate(y_true, y_pred)
+        return float(np.mean(np.abs(y_pred - y_true)))
+
+    def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+        y_true, y_pred = self._validate(y_true, y_pred)
+        return np.sign(y_pred - y_true) / y_true.size
+
+
+class MeanAbsolutePercentageError(Loss):
+    """MAPE expressed as a fraction (0.15 == 15 %), the paper's selected loss."""
+
+    name = "mape"
+
+    def value(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        y_true, y_pred = self._validate(y_true, y_pred)
+        denom = np.maximum(np.abs(y_true), MAPE_EPSILON)
+        return float(np.mean(np.abs(y_pred - y_true) / denom))
+
+    def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+        y_true, y_pred = self._validate(y_true, y_pred)
+        denom = np.maximum(np.abs(y_true), MAPE_EPSILON)
+        return np.sign(y_pred - y_true) / denom / y_true.size
+
+
+_LOSSES: dict[str, type[Loss]] = {
+    "mse": MeanSquaredError,
+    "mae": MeanAbsoluteError,
+    "mape": MeanAbsolutePercentageError,
+}
+
+
+def get_loss(name: str | Loss) -> Loss:
+    """Resolve a loss by name (``"mse"``, ``"mae"``, ``"mape"``) or instance."""
+    if isinstance(name, Loss):
+        return name
+    key = str(name).lower()
+    if key not in _LOSSES:
+        raise ConfigurationError(
+            f"unknown loss {name!r}; expected one of {sorted(_LOSSES)}"
+        )
+    return _LOSSES[key]()

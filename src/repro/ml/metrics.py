@@ -1,0 +1,92 @@
+"""Regression quality metrics reported in the paper (Table 3).
+
+The paper evaluates its multi-target regression model with mean squared error,
+mean absolute percentage error, the coefficient of determination (R^2), and
+the explained variance score.  For multi-target outputs every metric is first
+computed per target column and then averaged uniformly (the "uniform average"
+convention), matching how Table 3 aggregates the five target memory sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_EPS = 1e-12
+
+
+def _validate(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape:
+        raise ConfigurationError(
+            f"y_true shape {y_true.shape} != y_pred shape {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ConfigurationError("metrics require at least one sample")
+    if y_true.ndim == 1:
+        y_true = y_true.reshape(-1, 1)
+        y_pred = y_pred.reshape(-1, 1)
+    if y_true.ndim != 2:
+        raise ConfigurationError("metrics expect 1-D or 2-D arrays")
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean squared error averaged over samples and targets."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean((y_pred - y_true) ** 2))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error averaged over samples and targets."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(y_pred - y_true)))
+
+
+def mean_absolute_percentage_error(y_true, y_pred) -> float:
+    """MAPE as a fraction (0.046 == 4.6 %), matching the paper's Table 3."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    denom = np.maximum(np.abs(y_true), _EPS)
+    return float(np.mean(np.abs(y_pred - y_true) / denom))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination, uniform-averaged over target columns.
+
+    A constant target column (zero variance) contributes 1.0 when predicted
+    perfectly and 0.0 otherwise, mirroring the scikit-learn convention.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    residual = np.sum((y_true - y_pred) ** 2, axis=0)
+    total = np.sum((y_true - y_true.mean(axis=0)) ** 2, axis=0)
+    scores = np.ones(y_true.shape[1])
+    nonconstant = total > _EPS
+    scores[nonconstant] = 1.0 - residual[nonconstant] / total[nonconstant]
+    constant = ~nonconstant
+    scores[constant] = np.where(residual[constant] <= _EPS, 1.0, 0.0)
+    return float(np.mean(scores))
+
+
+def explained_variance_score(y_true, y_pred) -> float:
+    """Explained variance score, uniform-averaged over target columns."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    error_variance = np.var(y_true - y_pred, axis=0)
+    target_variance = np.var(y_true, axis=0)
+    scores = np.ones(y_true.shape[1])
+    nonconstant = target_variance > _EPS
+    scores[nonconstant] = 1.0 - error_variance[nonconstant] / target_variance[nonconstant]
+    constant = ~nonconstant
+    scores[constant] = np.where(error_variance[constant] <= _EPS, 1.0, 0.0)
+    return float(np.mean(scores))
+
+
+def regression_report(y_true, y_pred) -> dict[str, float]:
+    """Return all four Table-3 metrics in a single dictionary."""
+    return {
+        "mse": mean_squared_error(y_true, y_pred),
+        "mape": mean_absolute_percentage_error(y_true, y_pred),
+        "r2": r2_score(y_true, y_pred),
+        "explained_variance": explained_variance_score(y_true, y_pred),
+    }

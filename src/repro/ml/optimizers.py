@@ -1,0 +1,147 @@
+"""Gradient-descent optimizers from the paper's hyperparameter grid (Table 2).
+
+The grid considers SGD, Adam, and Adagrad; the grid search selects Adam.  Each
+optimizer holds per-parameter state keyed by the identity of the parameter
+array, so the same optimizer instance can drive all layers of a network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Optimizer:
+    """Base class: updates parameter arrays in place from their gradients."""
+
+    name = "optimizer"
+
+    def __init__(self, learning_rate: float = 0.001) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+        self._state: dict[int, dict[str, np.ndarray]] = {}
+
+    def reset(self) -> None:
+        """Drop all accumulated per-parameter state (e.g. between CV folds)."""
+        self._state.clear()
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Update every parameter array in place using its gradient."""
+        if len(params) != len(grads):
+            raise ConfigurationError("params and grads must have equal length")
+        for param, grad in zip(params, grads):
+            if param.shape != grad.shape:
+                raise ConfigurationError(
+                    f"parameter shape {param.shape} != gradient shape {grad.shape}"
+                )
+            self._update(param, grad)
+
+    def _update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _param_state(self, param: np.ndarray) -> dict[str, np.ndarray]:
+        return self._state.setdefault(id(param), {})
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}(learning_rate={self.learning_rate})"
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    name = "sgd"
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+
+    def _update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        if self.momentum == 0.0:
+            param -= self.learning_rate * grad
+            return
+        state = self._param_state(param)
+        velocity = state.get("velocity")
+        if velocity is None:
+            velocity = np.zeros_like(param)
+        velocity = self.momentum * velocity - self.learning_rate * grad
+        state["velocity"] = velocity
+        param += velocity
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) — the paper's selected optimizer."""
+
+    name = "adam"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError("beta1 and beta2 must be in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+
+    def _update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        state = self._param_state(param)
+        if not state:
+            state["m"] = np.zeros_like(param)
+            state["v"] = np.zeros_like(param)
+            state["t"] = np.zeros(1)
+        state["t"] += 1
+        t = float(state["t"][0])
+        state["m"] = self.beta1 * state["m"] + (1.0 - self.beta1) * grad
+        state["v"] = self.beta2 * state["v"] + (1.0 - self.beta2) * grad * grad
+        m_hat = state["m"] / (1.0 - self.beta1**t)
+        v_hat = state["v"] / (1.0 - self.beta2**t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+class Adagrad(Optimizer):
+    """Adagrad optimizer with per-parameter adaptive learning rates."""
+
+    name = "adagrad"
+
+    def __init__(self, learning_rate: float = 0.01, epsilon: float = 1e-8) -> None:
+        super().__init__(learning_rate)
+        self.epsilon = float(epsilon)
+
+    def _update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        state = self._param_state(param)
+        accumulated = state.get("accumulated")
+        if accumulated is None:
+            accumulated = np.zeros_like(param)
+        accumulated = accumulated + grad * grad
+        state["accumulated"] = accumulated
+        param -= self.learning_rate * grad / (np.sqrt(accumulated) + self.epsilon)
+
+
+_OPTIMIZERS: dict[str, type[Optimizer]] = {
+    "sgd": SGD,
+    "adam": Adam,
+    "adagrad": Adagrad,
+}
+
+
+def get_optimizer(name: str | Optimizer, learning_rate: float | None = None) -> Optimizer:
+    """Resolve an optimizer by name, optionally overriding the learning rate."""
+    if isinstance(name, Optimizer):
+        return name
+    key = str(name).lower()
+    if key not in _OPTIMIZERS:
+        raise ConfigurationError(
+            f"unknown optimizer {name!r}; expected one of {sorted(_OPTIMIZERS)}"
+        )
+    cls = _OPTIMIZERS[key]
+    if learning_rate is None:
+        return cls()
+    return cls(learning_rate=learning_rate)

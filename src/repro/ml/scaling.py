@@ -1,0 +1,85 @@
+"""Feature scaling utilities (fit on training folds, applied everywhere)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+_EPS = 1e-12
+
+
+class StandardScaler:
+    """Standardise features to zero mean and unit variance.
+
+    Constant columns are left centred but not divided (their scale is forced
+    to 1) so that they do not blow up to NaN.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        """Learn per-column mean and standard deviation from ``x``."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[0] == 0:
+            raise ModelError("StandardScaler.fit expects a non-empty 2-D array")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std < _EPS] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the learned standardisation."""
+        if self.mean_ is None or self.scale_ is None:
+            raise ModelError("StandardScaler used before fit()")
+        x = np.asarray(x, dtype=float)
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit on ``x`` and return the transformed array."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Map standardised values back to the original scale."""
+        if self.mean_ is None or self.scale_ is None:
+            raise ModelError("StandardScaler used before fit()")
+        return np.asarray(x, dtype=float) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features into ``[0, 1]`` column-wise (constant columns map to 0)."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        """Learn per-column minima and ranges from ``x``."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[0] == 0:
+            raise ModelError("MinMaxScaler.fit expects a non-empty 2-D array")
+        self.min_ = x.min(axis=0)
+        value_range = x.max(axis=0) - self.min_
+        value_range[value_range < _EPS] = 1.0
+        self.range_ = value_range
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the learned min-max scaling."""
+        if self.min_ is None or self.range_ is None:
+            raise ModelError("MinMaxScaler used before fit()")
+        x = np.asarray(x, dtype=float)
+        return (x - self.min_) / self.range_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit on ``x`` and return the transformed array."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Map scaled values back to the original range."""
+        if self.min_ is None or self.range_ is None:
+            raise ModelError("MinMaxScaler used before fit()")
+        return np.asarray(x, dtype=float) * self.range_ + self.min_

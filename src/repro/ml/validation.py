@@ -1,0 +1,83 @@
+"""Data splitting utilities: train/test split, k-fold, repeated k-fold.
+
+The paper evaluates each base memory size with "ten iterations of five-fold
+cross-validation with a random split" (Section 3.4); :class:`RepeatedKFold`
+implements exactly that protocol.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Randomly split ``(x, y)`` into train and test partitions.
+
+    Returns ``(x_train, x_test, y_train, y_test)``.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if len(x) != len(y):
+        raise ConfigurationError("x and y must contain the same number of samples")
+    if not 0.0 < test_fraction < 1.0:
+        raise ConfigurationError("test_fraction must be in (0, 1)")
+    n = len(x)
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise ConfigurationError("test_fraction leaves no training samples")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return x[train_idx], x[test_idx], y[train_idx], y[test_idx]
+
+
+class KFold:
+    """Shuffled k-fold splitter yielding ``(train_indices, test_indices)``."""
+
+    def __init__(self, n_splits: int = 5, seed: int | None = None) -> None:
+        if n_splits < 2:
+            raise ConfigurationError("n_splits must be at least 2")
+        self.n_splits = int(n_splits)
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield index pairs for each fold over ``n_samples`` samples."""
+        if n_samples < self.n_splits:
+            raise ConfigurationError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n_samples)
+        folds = np.array_split(order, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = folds[i]
+            train_idx = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train_idx, test_idx
+
+
+class RepeatedKFold:
+    """Repeated k-fold cross-validation (the paper uses 10 x 5-fold)."""
+
+    def __init__(self, n_splits: int = 5, n_repeats: int = 10, seed: int | None = None) -> None:
+        if n_repeats < 1:
+            raise ConfigurationError("n_repeats must be at least 1")
+        self.n_splits = int(n_splits)
+        self.n_repeats = int(n_repeats)
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``n_splits * n_repeats`` index pairs with fresh shuffles."""
+        base = 0 if self.seed is None else int(self.seed)
+        for repeat in range(self.n_repeats):
+            fold = KFold(n_splits=self.n_splits, seed=base + repeat)
+            yield from fold.split(n_samples)

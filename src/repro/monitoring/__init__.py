@@ -1,0 +1,46 @@
+"""Resource consumption monitoring (paper Section 3.2) and stability analysis.
+
+The paper instruments every function with a wrapper-style monitor that records
+25 metrics per invocation (Table 1) and writes them to a DynamoDB table after
+the inner handler returns.  This package provides:
+
+- :mod:`repro.monitoring.metrics`     -- canonical metric names, the six
+  metrics required in production, and per-invocation records.
+- :mod:`repro.monitoring.collector`   -- the wrapper-style monitor that wraps
+  platform invocations and accumulates records.
+- :mod:`repro.monitoring.aggregation` -- mean / standard deviation /
+  coefficient-of-variation aggregation over a measurement window.
+- :mod:`repro.monitoring.stability`   -- the Mann-Whitney-U / Cliff's-delta
+  stability analysis behind paper Figure 3.
+"""
+
+from repro.monitoring.aggregation import MetricAggregate, MonitoringSummary, aggregate_records
+from repro.monitoring.collector import MonitoringRecord, ResourceConsumptionMonitor
+from repro.monitoring.metrics import (
+    METRIC_NAMES,
+    PRODUCTION_METRICS,
+    validate_metric_dict,
+)
+from repro.monitoring.stability import (
+    StabilityAnalysis,
+    StabilityResult,
+    cliffs_delta,
+    interpret_cliffs_delta,
+    mann_whitney_u,
+)
+
+__all__ = [
+    "METRIC_NAMES",
+    "PRODUCTION_METRICS",
+    "validate_metric_dict",
+    "MonitoringRecord",
+    "ResourceConsumptionMonitor",
+    "MetricAggregate",
+    "MonitoringSummary",
+    "aggregate_records",
+    "mann_whitney_u",
+    "cliffs_delta",
+    "interpret_cliffs_delta",
+    "StabilityAnalysis",
+    "StabilityResult",
+]

@@ -1,0 +1,121 @@
+"""Aggregation of per-invocation metrics into per-experiment statistics.
+
+The regression model consumes the *mean* of every monitored metric over a
+measurement window, plus — for the final feature set F4 — the standard
+deviation and coefficient of variation of selected metrics (paper
+Section 3.4).  :func:`aggregate_records` produces exactly that summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MonitoringError
+from repro.monitoring.collector import MonitoringRecord
+from repro.monitoring.metrics import METRIC_NAMES
+
+
+@dataclass(frozen=True)
+class MetricAggregate:
+    """Mean / standard deviation / coefficient of variation of one metric."""
+
+    name: str
+    mean: float
+    std: float
+    cv: float
+    n_samples: int
+
+    @staticmethod
+    def from_samples(name: str, samples: np.ndarray) -> "MetricAggregate":
+        """Aggregate a 1-D sample array (must be non-empty)."""
+        samples = np.asarray(samples, dtype=float)
+        if samples.size == 0:
+            raise MonitoringError(f"no samples to aggregate for metric {name!r}")
+        mean = float(np.mean(samples))
+        std = float(np.std(samples))
+        cv = float(std / mean) if abs(mean) > 1e-12 else 0.0
+        return MetricAggregate(name=name, mean=mean, std=std, cv=cv, n_samples=int(samples.size))
+
+
+@dataclass(frozen=True)
+class MonitoringSummary:
+    """Aggregated monitoring data of one function at one memory size.
+
+    This is the "monitoring data for a single memory size" the online phase of
+    the approach consumes (paper Figure 2).
+    """
+
+    function_name: str
+    memory_mb: float
+    aggregates: dict[str, MetricAggregate]
+    n_invocations: int
+
+    @property
+    def mean_execution_time_ms(self) -> float:
+        """Mean inner execution time over the window."""
+        return self.aggregates["execution_time"].mean
+
+    def mean(self, metric: str) -> float:
+        """Mean of one metric."""
+        return self._get(metric).mean
+
+    def std(self, metric: str) -> float:
+        """Standard deviation of one metric."""
+        return self._get(metric).std
+
+    def cv(self, metric: str) -> float:
+        """Coefficient of variation of one metric."""
+        return self._get(metric).cv
+
+    def _get(self, metric: str) -> MetricAggregate:
+        try:
+            return self.aggregates[metric]
+        except KeyError:
+            raise MonitoringError(f"metric {metric!r} not present in summary") from None
+
+    def as_flat_dict(self) -> dict[str, float]:
+        """Flatten to ``{"<metric>_mean": ..., "<metric>_std": ..., "<metric>_cv": ...}``."""
+        flat: dict[str, float] = {}
+        for name, aggregate in self.aggregates.items():
+            flat[f"{name}_mean"] = aggregate.mean
+            flat[f"{name}_std"] = aggregate.std
+            flat[f"{name}_cv"] = aggregate.cv
+        return flat
+
+
+def aggregate_records(
+    records: list[MonitoringRecord],
+    exclude_cold_starts: bool = True,
+) -> MonitoringSummary:
+    """Aggregate a homogeneous list of monitoring records into a summary.
+
+    All records must belong to the same function and memory size.  Cold-start
+    invocations are excluded by default (the paper's wrapper only measures the
+    inner execution, but cold invocations still skew counters like the
+    resident set, so harnesses discard them via the warm-up window).
+    """
+    if not records:
+        raise MonitoringError("cannot aggregate an empty record list")
+    function_names = {record.function_name for record in records}
+    memory_sizes = {record.memory_mb for record in records}
+    if len(function_names) != 1 or len(memory_sizes) != 1:
+        raise MonitoringError(
+            "aggregate_records expects records of a single function and memory size; "
+            f"got functions {sorted(function_names)} and sizes {sorted(memory_sizes)}"
+        )
+    usable = [record for record in records if not (exclude_cold_starts and record.cold_start)]
+    if not usable:
+        usable = records  # fall back: everything was a cold start
+
+    aggregates: dict[str, MetricAggregate] = {}
+    for metric in METRIC_NAMES:
+        samples = np.array([record.metrics[metric] for record in usable], dtype=float)
+        aggregates[metric] = MetricAggregate.from_samples(metric, samples)
+    return MonitoringSummary(
+        function_name=next(iter(function_names)),
+        memory_mb=float(next(iter(memory_sizes))),
+        aggregates=aggregates,
+        n_invocations=len(usable),
+    )

@@ -1,0 +1,135 @@
+"""Wrapper-style resource consumption monitor (paper Section 3.2).
+
+The paper's monitor implements the Lambda entry point, snapshots all metric
+counters, calls the original handler, snapshots again, and stores the deltas.
+Here the platform already returns per-invocation metric values, so the
+collector's job is the bookkeeping around them: associating records with the
+function and memory size, separating warm-up invocations, and handing clean
+per-invocation series to the aggregation layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MonitoringError
+from repro.monitoring.metrics import METRIC_NAMES, validate_metric_dict
+from repro.simulation.platform import InvocationRecord
+
+
+@dataclass(frozen=True)
+class MonitoringRecord:
+    """One monitored invocation.
+
+    Attributes
+    ----------
+    function_name:
+        Name of the monitored function.
+    memory_mb:
+        Memory size the function ran with.
+    timestamp_s:
+        Virtual arrival time of the invocation.
+    metrics:
+        The 25 Table-1 metric values of this invocation.
+    cold_start:
+        Whether the invocation initialised a fresh worker (excluded from the
+        default aggregation window, like the paper's warm-up discards).
+    """
+
+    function_name: str
+    memory_mb: float
+    timestamp_s: float
+    metrics: dict[str, float]
+    cold_start: bool = False
+
+    def __post_init__(self) -> None:
+        validate_metric_dict(self.metrics)
+
+    @property
+    def execution_time_ms(self) -> float:
+        """Inner execution time of the invocation."""
+        return self.metrics["execution_time"]
+
+
+@dataclass
+class ResourceConsumptionMonitor:
+    """Accumulates :class:`MonitoringRecord` objects for one or more functions."""
+
+    records: list[MonitoringRecord] = field(default_factory=list)
+
+    def observe(self, record: InvocationRecord) -> MonitoringRecord:
+        """Convert a platform invocation record and add it to the store."""
+        monitoring_record = MonitoringRecord(
+            function_name=record.function_name,
+            memory_mb=record.memory_mb,
+            timestamp_s=record.timestamp_s,
+            metrics=dict(record.result.metrics),
+            cold_start=record.result.cold_start,
+        )
+        self.records.append(monitoring_record)
+        return monitoring_record
+
+    def observe_all(self, records: list[InvocationRecord]) -> list[MonitoringRecord]:
+        """Convert and store a batch of platform invocation records."""
+        return [self.observe(record) for record in records]
+
+    def add(self, record: MonitoringRecord) -> None:
+        """Add an already-built monitoring record."""
+        self.records.append(record)
+
+    # ------------------------------------------------------------------ views
+    def for_function(
+        self,
+        function_name: str,
+        memory_mb: float | None = None,
+        include_cold_starts: bool = True,
+        after_s: float = 0.0,
+    ) -> list[MonitoringRecord]:
+        """Return the records of one function, optionally filtered.
+
+        Parameters
+        ----------
+        function_name:
+            Function to select.
+        memory_mb:
+            If given, only records measured at this memory size.
+        include_cold_starts:
+            Whether to keep cold-start invocations.
+        after_s:
+            Discard records that arrived before this virtual time (warm-up).
+        """
+        selected = [
+            record
+            for record in self.records
+            if record.function_name == function_name
+            and (memory_mb is None or record.memory_mb == memory_mb)
+            and (include_cold_starts or not record.cold_start)
+            and record.timestamp_s >= after_s
+        ]
+        return selected
+
+    def metric_series(
+        self, function_name: str, metric: str, memory_mb: float | None = None
+    ) -> np.ndarray:
+        """Return one metric's per-invocation series for a function."""
+        if metric not in METRIC_NAMES:
+            raise MonitoringError(f"unknown metric {metric!r}")
+        records = self.for_function(function_name, memory_mb=memory_mb)
+        if not records:
+            raise MonitoringError(
+                f"no records for function {function_name!r} at memory {memory_mb!r}"
+            )
+        return np.array([record.metrics[metric] for record in records], dtype=float)
+
+    def function_names(self) -> list[str]:
+        """Names of all functions with at least one record."""
+        return sorted({record.function_name for record in self.records})
+
+    def clear(self) -> None:
+        """Drop all stored records."""
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

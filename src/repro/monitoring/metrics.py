@@ -1,0 +1,78 @@
+"""Canonical monitoring metric definitions (paper Table 1).
+
+The 25 metric names are defined by the runtime model
+(:data:`repro.simulation.runtime.METRIC_NAMES`) and re-exported here because
+the monitoring layer is their consumer-facing home.  This module also defines
+the *production subset*: after the paper's feature-engineering rounds, the
+final feature set F4 only requires six monitored metrics (Section 3.4) —
+heap used, user CPU time, system CPU time, voluntary context switches, bytes
+written to the file system, and bytes received over the network (plus the
+execution time itself).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MonitoringError
+from repro.simulation.runtime import METRIC_NAMES
+
+#: Sources of each metric as documented in paper Table 1.
+METRIC_SOURCES: dict[str, str] = {
+    "execution_time": "process.hrtime()",
+    "user_cpu_time": "process.cpuUsage()",
+    "system_cpu_time": "process.cpuUsage()",
+    "vol_context_switches": "process.resourceUsage()",
+    "invol_context_switches": "process.resourceUsage()",
+    "fs_reads": "process.resourceUsage()",
+    "fs_writes": "process.resourceUsage()",
+    "resident_set_size": "process.memoryUsage()",
+    "max_resident_set_size": "process.resourceUsage()",
+    "total_heap": "process.memoryUsage()",
+    "heap_used": "process.memoryUsage()",
+    "physical_heap": "v8.getHeapStatistics()",
+    "available_heap": "v8.getHeapStatistics()",
+    "heap_limit": "v8.getHeapStatistics()",
+    "allocated_memory": "v8.getHeapStatistics()",
+    "external_memory": "process.memoryUsage()",
+    "bytecode_metadata": "v8.getHeapCodeStatistics()",
+    "bytes_received": "/proc/net/dev/",
+    "bytes_transmitted": "/proc/net/dev/",
+    "packages_received": "/proc/net/dev/",
+    "packages_transmitted": "/proc/net/dev/",
+    "min_event_loop_lag": "perf_hooks",
+    "max_event_loop_lag": "perf_hooks",
+    "mean_event_loop_lag": "perf_hooks",
+    "std_event_loop_lag": "perf_hooks",
+}
+
+#: The six metrics (beyond execution time) that must be monitored in
+#: production once the final feature set F4 is used (paper Section 3.4).
+PRODUCTION_METRICS: tuple[str, ...] = (
+    "heap_used",
+    "user_cpu_time",
+    "system_cpu_time",
+    "vol_context_switches",
+    "fs_writes",
+    "bytes_received",
+)
+
+
+def validate_metric_dict(metrics: dict[str, float]) -> dict[str, float]:
+    """Check that a metric dictionary contains exactly the Table-1 metrics.
+
+    Raises :class:`~repro.errors.MonitoringError` when metrics are missing,
+    unknown, or non-finite, and returns the dictionary unchanged otherwise.
+    """
+    missing = set(METRIC_NAMES) - set(metrics)
+    if missing:
+        raise MonitoringError(f"missing metrics: {sorted(missing)}")
+    unknown = set(metrics) - set(METRIC_NAMES)
+    if unknown:
+        raise MonitoringError(f"unknown metrics: {sorted(unknown)}")
+    for name, value in metrics.items():
+        value = float(value)
+        if value != value or value in (float("inf"), float("-inf")):
+            raise MonitoringError(f"metric {name!r} is not finite: {value}")
+    return metrics
+
+
+__all__ = ["METRIC_NAMES", "METRIC_SOURCES", "PRODUCTION_METRICS", "validate_metric_dict"]

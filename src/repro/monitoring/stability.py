@@ -1,0 +1,160 @@
+"""Metric stability analysis over experiment duration (paper Figure 3).
+
+Before generating the training dataset the paper determines how long each
+measurement experiment must run for the reported metrics to be stable: 50
+functions are measured for fifteen minutes, and for every metric the samples
+from the first *k* minutes are compared against the samples from the full
+experiment with the Mann-Whitney U test; Cliff's delta quantifies the effect
+size of any remaining difference.  Ten minutes is selected because by then the
+last metric (``allocated_memory`` / mallocMem) has become stable for all
+functions.
+
+This module implements the same analysis against the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import MonitoringError
+from repro.monitoring.collector import MonitoringRecord
+from repro.monitoring.metrics import METRIC_NAMES
+
+
+def mann_whitney_u(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
+    """Two-sided Mann-Whitney U test p-value for two independent samples."""
+    sample_a = np.asarray(sample_a, dtype=float)
+    sample_b = np.asarray(sample_b, dtype=float)
+    if sample_a.size == 0 or sample_b.size == 0:
+        raise MonitoringError("Mann-Whitney U requires non-empty samples")
+    if np.all(sample_a == sample_a[0]) and np.all(sample_b == sample_b[0]) and sample_a[0] == sample_b[0]:
+        return 1.0  # identical constant samples: no evidence of difference
+    _, p_value = stats.mannwhitneyu(sample_a, sample_b, alternative="two-sided")
+    return float(p_value)
+
+
+def cliffs_delta(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
+    """Cliff's delta effect size in [-1, 1] (0 means stochastically equal)."""
+    sample_a = np.asarray(sample_a, dtype=float)
+    sample_b = np.asarray(sample_b, dtype=float)
+    if sample_a.size == 0 or sample_b.size == 0:
+        raise MonitoringError("Cliff's delta requires non-empty samples")
+    # Vectorised pairwise comparison; sample sizes here are modest (<= a few
+    # thousand), so the n*m matrix stays manageable.  Chunk the larger sample
+    # to bound memory for the big stability experiments.
+    greater = 0
+    lesser = 0
+    chunk = 2000
+    for start in range(0, sample_a.size, chunk):
+        block = sample_a[start : start + chunk, None]
+        greater += int(np.sum(block > sample_b[None, :]))
+        lesser += int(np.sum(block < sample_b[None, :]))
+    return float((greater - lesser) / (sample_a.size * sample_b.size))
+
+
+def interpret_cliffs_delta(delta: float) -> str:
+    """Map |delta| to the conventional label (negligible/small/medium/large)."""
+    magnitude = abs(delta)
+    if magnitude < 0.147:
+        return "negligible"
+    if magnitude < 0.33:
+        return "small"
+    if magnitude < 0.474:
+        return "medium"
+    return "large"
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """Stability of all metrics for one candidate experiment duration."""
+
+    duration_s: float
+    #: Per metric: number of functions for which the metric is still unstable.
+    unstable_function_counts: dict[str, int]
+    #: Per metric: maximum |Cliff's delta| across functions.
+    max_effect_size: dict[str, float]
+
+    @property
+    def total_unstable(self) -> int:
+        """Total number of (function, metric) pairs that are still unstable."""
+        return int(sum(self.unstable_function_counts.values()))
+
+    def unstable_metrics(self) -> list[str]:
+        """Metrics that are unstable for at least one function."""
+        return sorted(
+            name for name, count in self.unstable_function_counts.items() if count > 0
+        )
+
+
+@dataclass
+class StabilityAnalysis:
+    """Runs the Figure-3 stability analysis over monitoring records.
+
+    Parameters
+    ----------
+    significance_level:
+        Mann-Whitney p-value below which two windows are considered different.
+    durations_s:
+        Candidate experiment durations (x-axis of Figure 3).
+    """
+
+    significance_level: float = 0.05
+    durations_s: tuple[float, ...] = tuple(float(x) for x in range(60, 901, 60))
+    results: list[StabilityResult] = field(default_factory=list)
+
+    def analyse(
+        self,
+        records_per_function: dict[str, list[MonitoringRecord]],
+        metrics: tuple[str, ...] = METRIC_NAMES,
+    ) -> list[StabilityResult]:
+        """Run the analysis for every candidate duration.
+
+        ``records_per_function`` maps a function name to its full-duration
+        record list (timestamps are used to slice prefixes).
+        """
+        if not records_per_function:
+            raise MonitoringError("stability analysis needs at least one function")
+        self.results = []
+        for duration in self.durations_s:
+            unstable_counts = {metric: 0 for metric in metrics}
+            max_effect = {metric: 0.0 for metric in metrics}
+            for records in records_per_function.values():
+                if not records:
+                    raise MonitoringError("empty record list for a function")
+                full = {
+                    metric: np.array([r.metrics[metric] for r in records]) for metric in metrics
+                }
+                prefix_records = [r for r in records if r.timestamp_s <= duration]
+                if len(prefix_records) < 5:
+                    # Too few samples to even test: count as unstable.
+                    for metric in metrics:
+                        unstable_counts[metric] += 1
+                        max_effect[metric] = max(max_effect[metric], 1.0)
+                    continue
+                for metric in metrics:
+                    prefix = np.array([r.metrics[metric] for r in prefix_records])
+                    p_value = mann_whitney_u(prefix, full[metric])
+                    delta = cliffs_delta(prefix, full[metric])
+                    max_effect[metric] = max(max_effect[metric], abs(delta))
+                    if p_value < self.significance_level and interpret_cliffs_delta(delta) != "negligible":
+                        unstable_counts[metric] += 1
+            self.results.append(
+                StabilityResult(
+                    duration_s=duration,
+                    unstable_function_counts=unstable_counts,
+                    max_effect_size=max_effect,
+                )
+            )
+        return self.results
+
+    def recommended_duration_s(self) -> float:
+        """Shortest analysed duration at which every metric is stable everywhere."""
+        if not self.results:
+            raise MonitoringError("analyse() must run before recommending a duration")
+        for result in self.results:
+            if result.total_unstable == 0:
+                return result.duration_s
+        return self.results[-1].duration_s

@@ -1,0 +1,137 @@
+"""Provider pricing models for serverless function executions.
+
+The paper's motivating example (Section 2) uses the AWS scheme: the cost of an
+execution is ``duration x memory`` in GB-seconds times a per-GB-second price,
+plus a small static per-request charge.  The default parameters below are the
+AWS numbers quoted in the paper (0.00001667 $/GB-s and 0.0000002 $/request).
+Google Cloud Functions and Azure Functions schemes are included for the
+cross-provider ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PricingScheme:
+    """Parameters of a GB-second pricing scheme.
+
+    Attributes
+    ----------
+    name:
+        Human-readable provider name.
+    price_per_gb_second:
+        Price in USD per GB-second of configured memory.
+    price_per_request:
+        Static per-invocation charge in USD.
+    billing_granularity_ms:
+        Durations are rounded *up* to a multiple of this granularity before
+        billing (AWS billed in 100 ms blocks until late 2020, 1 ms since).
+    minimum_billed_ms:
+        Minimum billed duration per invocation.
+    """
+
+    name: str = "aws"
+    price_per_gb_second: float = 0.00001667
+    price_per_request: float = 0.0000002
+    billing_granularity_ms: float = 1.0
+    minimum_billed_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.price_per_gb_second <= 0:
+            raise ConfigurationError("price_per_gb_second must be positive")
+        if self.price_per_request < 0:
+            raise ConfigurationError("price_per_request must be non-negative")
+        if self.billing_granularity_ms <= 0:
+            raise ConfigurationError("billing_granularity_ms must be positive")
+        if self.minimum_billed_ms < 0:
+            raise ConfigurationError("minimum_billed_ms must be non-negative")
+
+
+#: The AWS Lambda scheme the paper evaluates on (1 ms billing granularity).
+AWS_PRICING = PricingScheme(name="aws")
+
+#: The pre-December-2020 AWS scheme with 100 ms billing blocks, kept for
+#: ablations on how billing granularity changes the optimal memory size.
+AWS_LEGACY_PRICING = PricingScheme(
+    name="aws-legacy", billing_granularity_ms=100.0, minimum_billed_ms=100.0
+)
+
+#: Google Cloud Functions price point (simplified to the GB-second component).
+GCLOUD_PRICING = PricingScheme(
+    name="gcloud",
+    price_per_gb_second=0.0000025 * 6.5,
+    price_per_request=0.0000004,
+    billing_granularity_ms=100.0,
+    minimum_billed_ms=100.0,
+)
+
+#: Azure Functions consumption-plan price point.
+AZURE_PRICING = PricingScheme(
+    name="azure",
+    price_per_gb_second=0.000016,
+    price_per_request=0.0000002,
+    billing_granularity_ms=1.0,
+    minimum_billed_ms=100.0,
+)
+
+
+class PricingModel:
+    """Computes the cost of function executions under a :class:`PricingScheme`."""
+
+    def __init__(self, scheme: PricingScheme = AWS_PRICING) -> None:
+        self.scheme = scheme
+
+    def billed_duration_ms(self, execution_time_ms: float) -> float:
+        """Round an execution time up to the provider's billing granularity."""
+        if execution_time_ms < 0:
+            raise ConfigurationError("execution_time_ms must be non-negative")
+        duration = max(execution_time_ms, self.scheme.minimum_billed_ms)
+        granularity = self.scheme.billing_granularity_ms
+        return float(math.ceil(duration / granularity) * granularity)
+
+    def execution_cost(self, execution_time_ms: float, memory_mb: float) -> float:
+        """Cost in USD of a single execution of ``execution_time_ms`` at ``memory_mb``.
+
+        Example (from paper Section 2): 3 s at 512 MB on AWS costs
+        ``3 * 0.5 * 0.00001667 + 0.0000002 = 0.0000252``.
+        """
+        if memory_mb <= 0:
+            raise ConfigurationError("memory_mb must be positive")
+        billed_ms = self.billed_duration_ms(execution_time_ms)
+        gb_seconds = (memory_mb / 1024.0) * (billed_ms / 1000.0)
+        return float(
+            gb_seconds * self.scheme.price_per_gb_second + self.scheme.price_per_request
+        )
+
+    def execution_cost_cents(self, execution_time_ms: float, memory_mb: float) -> float:
+        """Cost in US cents (the unit used by paper Figure 1)."""
+        return self.execution_cost(execution_time_ms, memory_mb) * 100.0
+
+    def monthly_cost(
+        self, execution_time_ms: float, memory_mb: float, invocations_per_month: float
+    ) -> float:
+        """Projected monthly cost in USD for a fixed invocation volume."""
+        if invocations_per_month < 0:
+            raise ConfigurationError("invocations_per_month must be non-negative")
+        return self.execution_cost(execution_time_ms, memory_mb) * invocations_per_month
+
+    @staticmethod
+    def for_provider(provider: str) -> "PricingModel":
+        """Return a pricing model for ``"aws"``, ``"aws-legacy"``, ``"gcloud"`` or ``"azure"``."""
+        schemes = {
+            "aws": AWS_PRICING,
+            "aws-legacy": AWS_LEGACY_PRICING,
+            "gcloud": GCLOUD_PRICING,
+            "azure": AZURE_PRICING,
+        }
+        key = provider.lower()
+        if key not in schemes:
+            raise ConfigurationError(
+                f"unknown provider {provider!r}; expected one of {sorted(schemes)}"
+            )
+        return PricingModel(schemes[key])

@@ -1,0 +1,210 @@
+"""Resource demand profiles: what an invocation *asks* of the platform.
+
+A :class:`ResourceProfile` is the platform-independent description of one
+function invocation's resource demand — how much CPU work it performs, how
+much it reads and writes, how much data it moves over the network, which
+managed services it calls, and how much memory it touches.  Function segments
+(:mod:`repro.workloads.segments`) are defined as profiles, and composing
+segments into a synthetic function simply sums their profiles.
+
+The simulator then translates a profile plus a memory size into an execution
+time and the Table-1 monitoring metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class ServiceCall:
+    """A single call to a managed service or external API.
+
+    Parameters
+    ----------
+    service:
+        Service identifier, e.g. ``"dynamodb"``, ``"s3"``, ``"external_api"``.
+        Must be known to the :class:`~repro.simulation.services.ServiceCatalog`
+        used by the simulation.
+    operation:
+        Operation label (e.g. ``"get_item"``) — informational, used by service
+        models that price/latency-differentiate operations.
+    request_bytes:
+        Payload bytes sent to the service.
+    response_bytes:
+        Payload bytes received from the service.
+    calls:
+        Number of identical calls this entry represents (>= 1).
+    """
+
+    service: str
+    operation: str = "invoke"
+    request_bytes: float = 512.0
+    response_bytes: float = 512.0
+    calls: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.service:
+            raise WorkloadError("ServiceCall.service must be a non-empty string")
+        if self.request_bytes < 0 or self.response_bytes < 0:
+            raise WorkloadError("ServiceCall byte counts must be non-negative")
+        if self.calls < 1:
+            raise WorkloadError("ServiceCall.calls must be at least 1")
+
+    def scaled(self, factor: int) -> "ServiceCall":
+        """Return a copy representing ``factor`` times as many calls."""
+        if factor < 1:
+            raise WorkloadError("scale factor must be at least 1")
+        return replace(self, calls=self.calls * factor)
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Platform-independent resource demand of a single invocation.
+
+    All CPU figures are expressed as milliseconds of work *on one full vCPU*;
+    the simulator divides them by the CPU share granted at the selected memory
+    size.  Byte counts are per invocation.
+
+    Attributes
+    ----------
+    cpu_user_ms:
+        User-space CPU work (computation inside the handler).
+    cpu_system_ms:
+        Kernel-space CPU work (syscalls, I/O handling, crypto offload).
+    memory_working_set_mb:
+        Peak amount of memory the invocation actively touches.  When this
+        approaches the configured memory size, the simulator applies a
+        memory-pressure penalty (GC churn / allocator pressure).
+    heap_allocated_mb:
+        V8 heap allocated by the handler (usually <= working set).
+    fs_read_bytes / fs_write_bytes:
+        Bytes read from / written to the local file system (``/tmp``).
+    fs_read_ops / fs_write_ops:
+        Number of file-system operations (drives the context-switch count).
+    network_bytes_in / network_bytes_out:
+        Bytes received / transmitted that are *not* already accounted for by
+        ``service_calls`` (e.g. payload streaming).
+    service_calls:
+        Managed-service and external-API calls performed by the invocation.
+    code_size_kb:
+        Deployment-package size; drives cold-start duration and bytecode
+        metadata metrics.
+    blocking_fraction:
+        Fraction of the CPU work executed in long, synchronous chunks.  Drives
+        the simulated Node.js event-loop lag.
+    """
+
+    cpu_user_ms: float = 0.0
+    cpu_system_ms: float = 0.0
+    memory_working_set_mb: float = 20.0
+    heap_allocated_mb: float = 10.0
+    fs_read_bytes: float = 0.0
+    fs_write_bytes: float = 0.0
+    fs_read_ops: float = 0.0
+    fs_write_ops: float = 0.0
+    network_bytes_in: float = 0.0
+    network_bytes_out: float = 0.0
+    service_calls: tuple[ServiceCall, ...] = field(default_factory=tuple)
+    code_size_kb: float = 256.0
+    blocking_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        numeric_fields = (
+            self.cpu_user_ms,
+            self.cpu_system_ms,
+            self.memory_working_set_mb,
+            self.heap_allocated_mb,
+            self.fs_read_bytes,
+            self.fs_write_bytes,
+            self.fs_read_ops,
+            self.fs_write_ops,
+            self.network_bytes_in,
+            self.network_bytes_out,
+            self.code_size_kb,
+        )
+        if any(value < 0 for value in numeric_fields):
+            raise WorkloadError("ResourceProfile fields must be non-negative")
+        if not 0.0 <= self.blocking_fraction <= 1.0:
+            raise WorkloadError("blocking_fraction must be in [0, 1]")
+        object.__setattr__(self, "service_calls", tuple(self.service_calls))
+
+    # ------------------------------------------------------------ composition
+    def combine(self, other: "ResourceProfile") -> "ResourceProfile":
+        """Return the profile of running ``self`` followed by ``other``.
+
+        Additive for all demand quantities; the working set is the maximum of
+        the two (segments reuse memory sequentially) plus a small composition
+        overhead, and the blocking fraction is the CPU-weighted average.
+        """
+        total_cpu = self.cpu_user_ms + other.cpu_user_ms
+        if total_cpu > 0:
+            blocking = (
+                self.blocking_fraction * self.cpu_user_ms
+                + other.blocking_fraction * other.cpu_user_ms
+            ) / total_cpu
+        else:
+            blocking = max(self.blocking_fraction, other.blocking_fraction)
+        return ResourceProfile(
+            cpu_user_ms=self.cpu_user_ms + other.cpu_user_ms,
+            cpu_system_ms=self.cpu_system_ms + other.cpu_system_ms,
+            memory_working_set_mb=max(
+                self.memory_working_set_mb, other.memory_working_set_mb
+            )
+            + 0.1 * min(self.memory_working_set_mb, other.memory_working_set_mb),
+            heap_allocated_mb=max(self.heap_allocated_mb, other.heap_allocated_mb)
+            + 0.1 * min(self.heap_allocated_mb, other.heap_allocated_mb),
+            fs_read_bytes=self.fs_read_bytes + other.fs_read_bytes,
+            fs_write_bytes=self.fs_write_bytes + other.fs_write_bytes,
+            fs_read_ops=self.fs_read_ops + other.fs_read_ops,
+            fs_write_ops=self.fs_write_ops + other.fs_write_ops,
+            network_bytes_in=self.network_bytes_in + other.network_bytes_in,
+            network_bytes_out=self.network_bytes_out + other.network_bytes_out,
+            service_calls=self.service_calls + other.service_calls,
+            code_size_kb=self.code_size_kb + other.code_size_kb,
+            blocking_fraction=blocking,
+        )
+
+    @staticmethod
+    def compose(profiles: list["ResourceProfile"]) -> "ResourceProfile":
+        """Combine an ordered list of profiles into one (empty list is invalid)."""
+        if not profiles:
+            raise WorkloadError("cannot compose an empty list of profiles")
+        combined = profiles[0]
+        for profile in profiles[1:]:
+            combined = combined.combine(profile)
+        return combined
+
+    # --------------------------------------------------------------- summaries
+    @property
+    def total_cpu_ms(self) -> float:
+        """Total CPU work (user + system) at one full vCPU."""
+        return self.cpu_user_ms + self.cpu_system_ms
+
+    @property
+    def total_service_calls(self) -> int:
+        """Total number of managed-service calls (expanding ``calls`` counts)."""
+        return int(sum(call.calls for call in self.service_calls))
+
+    @property
+    def total_fs_bytes(self) -> float:
+        """Total file-system traffic in bytes."""
+        return self.fs_read_bytes + self.fs_write_bytes
+
+    def describe(self) -> dict[str, float]:
+        """Return a flat summary used by logging and tests."""
+        return {
+            "cpu_user_ms": self.cpu_user_ms,
+            "cpu_system_ms": self.cpu_system_ms,
+            "memory_working_set_mb": self.memory_working_set_mb,
+            "heap_allocated_mb": self.heap_allocated_mb,
+            "fs_read_bytes": self.fs_read_bytes,
+            "fs_write_bytes": self.fs_write_bytes,
+            "network_bytes_in": self.network_bytes_in,
+            "network_bytes_out": self.network_bytes_out,
+            "service_calls": float(self.total_service_calls),
+            "code_size_kb": self.code_size_kb,
+            "blocking_fraction": self.blocking_fraction,
+        }

@@ -1,0 +1,128 @@
+"""Resource scaling model: how capacity grows with the selected memory size.
+
+AWS Lambda allocates CPU, network and I/O capacity proportionally to the
+configured memory size (paper Section 1, [14, 43]).  The documented anchor is
+that ~1 769 MB corresponds to one full vCPU; the largest size in the paper
+(3 008 MB) therefore receives slightly under two vCPUs.  Network and
+file-system bandwidth also grow with memory but saturate earlier, which is the
+behaviour Wang et al. [49] measured and the reason network-bound functions in
+paper Figure 1 barely speed up at large sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Memory size granting exactly one vCPU on AWS Lambda.
+MEMORY_PER_VCPU_MB = 1769.0
+
+
+@dataclass(frozen=True)
+class ResourceScalingModel:
+    """Maps a memory size to CPU share, network and file-system bandwidth.
+
+    Parameters
+    ----------
+    memory_per_vcpu_mb:
+        Memory size equivalent to one full vCPU (AWS: ~1 769 MB).
+    max_vcpus:
+        Upper bound on the CPU share a single worker can receive.
+    network_base_mbps:
+        Network bandwidth (megabits/s) granted at ``memory_per_vcpu_mb``.
+    network_cap_mbps:
+        Maximum network bandwidth regardless of memory size.
+    fs_base_mbps:
+        Local file-system bandwidth (megabytes/s) at ``memory_per_vcpu_mb``.
+    fs_cap_mbps:
+        Maximum file-system bandwidth regardless of memory size.
+    min_share_floor:
+        Minimum CPU share even at the smallest memory size (the scheduler
+        never starves a worker completely).
+    """
+
+    memory_per_vcpu_mb: float = MEMORY_PER_VCPU_MB
+    max_vcpus: float = 2.0
+    network_base_mbps: float = 600.0
+    network_cap_mbps: float = 800.0
+    fs_base_mbps: float = 90.0
+    fs_cap_mbps: float = 120.0
+    min_share_floor: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.memory_per_vcpu_mb <= 0:
+            raise ConfigurationError("memory_per_vcpu_mb must be positive")
+        if self.max_vcpus <= 0:
+            raise ConfigurationError("max_vcpus must be positive")
+        if self.min_share_floor <= 0 or self.min_share_floor > 1:
+            raise ConfigurationError("min_share_floor must be in (0, 1]")
+        if self.network_base_mbps <= 0 or self.fs_base_mbps <= 0:
+            raise ConfigurationError("bandwidth parameters must be positive")
+
+    def _validate_memory(self, memory_mb: float) -> float:
+        if memory_mb <= 0:
+            raise ConfigurationError("memory_mb must be positive")
+        return float(memory_mb)
+
+    def cpu_share(self, memory_mb: float) -> float:
+        """Fraction of vCPU time granted at ``memory_mb`` (may exceed 1.0)."""
+        memory_mb = self._validate_memory(memory_mb)
+        share = memory_mb / self.memory_per_vcpu_mb
+        return float(min(max(share, self.min_share_floor), self.max_vcpus))
+
+    def network_bandwidth_mbps(self, memory_mb: float) -> float:
+        """Network bandwidth in megabits per second at ``memory_mb``.
+
+        Grows linearly with memory but saturates at ``network_cap_mbps``; even
+        tiny functions keep a useful floor (~10 % of base) because the network
+        path is shared rather than strictly partitioned.
+        """
+        memory_mb = self._validate_memory(memory_mb)
+        scaled = self.network_base_mbps * (memory_mb / self.memory_per_vcpu_mb)
+        floor = 0.1 * self.network_base_mbps
+        return float(min(max(scaled, floor), self.network_cap_mbps))
+
+    def fs_bandwidth_mbps(self, memory_mb: float) -> float:
+        """Local file-system bandwidth in megabytes per second at ``memory_mb``."""
+        memory_mb = self._validate_memory(memory_mb)
+        scaled = self.fs_base_mbps * (memory_mb / self.memory_per_vcpu_mb) ** 0.7
+        floor = 0.15 * self.fs_base_mbps
+        return float(min(max(scaled, floor), self.fs_cap_mbps))
+
+    def network_transfer_ms(self, total_bytes: float, memory_mb: float) -> float:
+        """Time (ms) to move ``total_bytes`` over the network at ``memory_mb``."""
+        if total_bytes < 0:
+            raise ConfigurationError("total_bytes must be non-negative")
+        if total_bytes == 0:
+            return 0.0
+        bandwidth_bytes_per_ms = self.network_bandwidth_mbps(memory_mb) * 1e6 / 8.0 / 1000.0
+        return float(total_bytes / bandwidth_bytes_per_ms)
+
+    def fs_transfer_ms(self, total_bytes: float, memory_mb: float) -> float:
+        """Time (ms) to move ``total_bytes`` through the local file system."""
+        if total_bytes < 0:
+            raise ConfigurationError("total_bytes must be non-negative")
+        if total_bytes == 0:
+            return 0.0
+        bandwidth_bytes_per_ms = self.fs_bandwidth_mbps(memory_mb) * 1e6 / 1000.0
+        return float(total_bytes / bandwidth_bytes_per_ms)
+
+    def memory_pressure_factor(self, working_set_mb: float, memory_mb: float) -> float:
+        """Multiplicative CPU-time penalty when the working set nears the limit.
+
+        Returns 1.0 when the working set comfortably fits.  As the working set
+        exceeds ~70 % of the configured memory the garbage collector and
+        allocator churn grows, up to a 2.5x penalty right at the limit (at
+        which point a real function would be close to an out-of-memory kill).
+        """
+        if working_set_mb < 0:
+            raise ConfigurationError("working_set_mb must be non-negative")
+        memory_mb = self._validate_memory(memory_mb)
+        # ~50 MB of the configured memory is consumed by the runtime itself.
+        usable_mb = max(memory_mb - 50.0, 16.0)
+        utilization = working_set_mb / usable_mb
+        if utilization <= 0.7:
+            return 1.0
+        overshoot = min(utilization, 1.3) - 0.7
+        return float(1.0 + 2.5 * overshoot)

@@ -1,0 +1,375 @@
+"""The four case-study applications of the paper's evaluation (Section 4).
+
+The evaluation applies the model — trained purely on synthetic functions — to
+27 functions from four realistic serverless applications:
+
+- **Airline Booking** (8 functions): flight search/booking/payment/loyalty,
+  using S3, SNS, Step Functions, API Gateway and an external payment provider.
+- **Facial Recognition** (5 functions, Wild Rydes workshop): profile-picture
+  upload workflow built around AWS Rekognition.
+- **Event Processing** (7 functions): IoT-inspired ingestion pipeline using
+  API Gateway, SNS, SQS and Aurora; very fast functions.
+- **Hello Retail** (7 functions, Nordstrom): product catalog with a
+  photographer workflow using Kinesis, API Gateway, Step Functions, DynamoDB
+  and S3.
+
+The functions are modelled from the paper's description of each application
+(services used, CPU/network character, execution-time magnitude in Figure 6).
+They are deliberately *not* compositions of the training segments — several
+use services (Rekognition, Aurora, Kinesis, SES) that no segment uses — so
+the evaluation genuinely tests transfer from synthetic to unseen functions,
+like in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.simulation.profile import ResourceProfile, ServiceCall
+from repro.workloads.function import FunctionSpec
+from repro.workloads.loadgen import Workload
+
+
+@dataclass(frozen=True)
+class CaseStudyApplication:
+    """A case-study application: a set of functions plus its workload.
+
+    Attributes
+    ----------
+    name:
+        Application name as used in the paper's tables.
+    functions:
+        The application's serverless functions.
+    workload:
+        Request rate / duration used for its measurements.
+    measured_months_after_training:
+        How long after the training-dataset collection the paper measured the
+        application (used in the longevity ablation).
+    """
+
+    name: str
+    functions: tuple[FunctionSpec, ...]
+    workload: Workload
+    measured_months_after_training: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.functions:
+            raise WorkloadError("an application needs at least one function")
+        names = [function.name for function in self.functions]
+        if len(names) != len(set(names)):
+            raise WorkloadError(f"duplicate function names in application {self.name!r}")
+
+    @property
+    def function_names(self) -> list[str]:
+        """Names of the application's functions in definition order."""
+        return [function.name for function in self.functions]
+
+    def get_function(self, name: str) -> FunctionSpec:
+        """Return the function called ``name``."""
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise WorkloadError(f"application {self.name!r} has no function {name!r}")
+
+
+def _kb(value: float) -> float:
+    return value * 1024.0
+
+
+def _mb(value: float) -> float:
+    return value * 1024.0 * 1024.0
+
+
+def _spec(app: str, name: str, profile: ResourceProfile) -> FunctionSpec:
+    return FunctionSpec(name=name, profile=profile, application=app)
+
+
+def airline_booking() -> CaseStudyApplication:
+    """The Airline Booking application (8 functions, AWS Build On Serverless)."""
+    app = "Airline Booking"
+    functions = (
+        _spec(app, "IngestLoyalty", ResourceProfile(
+            cpu_user_ms=22.0, cpu_system_ms=3.0,
+            memory_working_set_mb=30.0, heap_allocated_mb=22.0,
+            service_calls=(
+                ServiceCall("dynamodb", "put_item", _kb(3.0), _kb(0.5), calls=2),
+                ServiceCall("kinesis", "get_records", _kb(0.5), _kb(12.0), calls=1),
+            ),
+            blocking_fraction=0.45, code_size_kb=420.0,
+        )),
+        _spec(app, "CaptureCharge", ResourceProfile(
+            cpu_user_ms=35.0, cpu_system_ms=4.0,
+            memory_working_set_mb=34.0, heap_allocated_mb=26.0,
+            service_calls=(
+                ServiceCall("payment_provider", "capture", _kb(2.0), _kb(2.0), calls=1),
+                ServiceCall("dynamodb", "put_item", _kb(2.0), _kb(0.5), calls=1),
+            ),
+            blocking_fraction=0.3, code_size_kb=520.0,
+        )),
+        _spec(app, "CreateCharge", ResourceProfile(
+            cpu_user_ms=48.0, cpu_system_ms=5.0,
+            memory_working_set_mb=38.0, heap_allocated_mb=30.0,
+            service_calls=(
+                ServiceCall("payment_provider", "create", _kb(3.0), _kb(3.0), calls=1),
+                ServiceCall("api_gateway", "invoke", _kb(1.0), _kb(1.0), calls=1),
+            ),
+            blocking_fraction=0.35, code_size_kb=520.0,
+        )),
+        _spec(app, "CollectPayment", ResourceProfile(
+            cpu_user_ms=30.0, cpu_system_ms=4.0,
+            memory_working_set_mb=32.0, heap_allocated_mb=24.0,
+            service_calls=(
+                ServiceCall("step_functions", "start_execution", _kb(2.0), _kb(1.0), calls=1),
+                ServiceCall("payment_provider", "collect", _kb(2.0), _kb(2.0), calls=1),
+            ),
+            blocking_fraction=0.3, code_size_kb=480.0,
+        )),
+        _spec(app, "ConfirmBooking", ResourceProfile(
+            cpu_user_ms=18.0, cpu_system_ms=2.0,
+            memory_working_set_mb=28.0, heap_allocated_mb=20.0,
+            service_calls=(
+                ServiceCall("dynamodb", "put_item", _kb(2.0), _kb(0.5), calls=2),
+            ),
+            blocking_fraction=0.4, code_size_kb=380.0,
+        )),
+        _spec(app, "GetLoyalty", ResourceProfile(
+            cpu_user_ms=12.0, cpu_system_ms=2.0,
+            memory_working_set_mb=26.0, heap_allocated_mb=18.0,
+            service_calls=(
+                ServiceCall("dynamodb", "query", _kb(1.0), _kb(8.0), calls=1),
+            ),
+            blocking_fraction=0.4, code_size_kb=380.0,
+        )),
+        _spec(app, "NotifyBooking", ResourceProfile(
+            cpu_user_ms=10.0, cpu_system_ms=2.0,
+            memory_working_set_mb=24.0, heap_allocated_mb=16.0,
+            service_calls=(
+                ServiceCall("sns", "publish", _kb(2.0), _kb(0.5), calls=1),
+            ),
+            blocking_fraction=0.3, code_size_kb=300.0,
+        )),
+        _spec(app, "ReserveBooking", ResourceProfile(
+            cpu_user_ms=20.0, cpu_system_ms=3.0,
+            memory_working_set_mb=30.0, heap_allocated_mb=22.0,
+            service_calls=(
+                ServiceCall("dynamodb", "put_item", _kb(4.0), _kb(0.5), calls=1),
+                ServiceCall("step_functions", "send_task_success", _kb(1.0), _kb(0.5), calls=1),
+            ),
+            blocking_fraction=0.4, code_size_kb=440.0,
+        )),
+    )
+    return CaseStudyApplication(
+        name=app,
+        functions=functions,
+        workload=Workload(requests_per_second=200.0, duration_s=600.0, warmup_s=30.0),
+        measured_months_after_training=2,
+    )
+
+
+def facial_recognition() -> CaseStudyApplication:
+    """The Facial Recognition application (5 functions, Wild Rydes workshop)."""
+    app = "Facial Recognition"
+    functions = (
+        _spec(app, "FaceDetection", ResourceProfile(
+            cpu_user_ms=28.0, cpu_system_ms=5.0,
+            memory_working_set_mb=60.0, heap_allocated_mb=45.0,
+            service_calls=(
+                ServiceCall("s3", "get_object", _kb(0.5), _kb(600.0), calls=1),
+                ServiceCall("rekognition", "detect_faces", _kb(600.0), _kb(4.0), calls=1),
+            ),
+            blocking_fraction=0.3, code_size_kb=600.0,
+        )),
+        _spec(app, "FaceSearch", ResourceProfile(
+            cpu_user_ms=18.0, cpu_system_ms=3.0,
+            memory_working_set_mb=40.0, heap_allocated_mb=30.0,
+            service_calls=(
+                ServiceCall("rekognition", "search_faces", _kb(4.0), _kb(6.0), calls=1),
+            ),
+            blocking_fraction=0.25, code_size_kb=520.0,
+        )),
+        _spec(app, "IndexFace", ResourceProfile(
+            cpu_user_ms=22.0, cpu_system_ms=3.0,
+            memory_working_set_mb=42.0, heap_allocated_mb=32.0,
+            service_calls=(
+                ServiceCall("rekognition", "index_faces", _kb(4.0), _kb(3.0), calls=1),
+                ServiceCall("dynamodb", "put_item", _kb(2.0), _kb(0.5), calls=1),
+            ),
+            blocking_fraction=0.25, code_size_kb=560.0,
+        )),
+        _spec(app, "PersistMetadata", ResourceProfile(
+            cpu_user_ms=9.0, cpu_system_ms=2.0,
+            memory_working_set_mb=26.0, heap_allocated_mb=18.0,
+            service_calls=(
+                ServiceCall("dynamodb", "put_item", _kb(3.0), _kb(0.5), calls=1),
+            ),
+            blocking_fraction=0.35, code_size_kb=340.0,
+        )),
+        _spec(app, "CreateThumbnail", ResourceProfile(
+            cpu_user_ms=140.0, cpu_system_ms=10.0,
+            memory_working_set_mb=110.0, heap_allocated_mb=85.0,
+            service_calls=(
+                ServiceCall("s3", "get_object", _kb(0.5), _mb(2.0), calls=1),
+                ServiceCall("s3", "put_object", _kb(180.0), _kb(0.5), calls=1),
+            ),
+            blocking_fraction=0.85, code_size_kb=950.0,
+        )),
+    )
+    return CaseStudyApplication(
+        name=app,
+        functions=functions,
+        workload=Workload(requests_per_second=10.0, duration_s=300.0, warmup_s=20.0),
+        measured_months_after_training=4,
+    )
+
+
+def event_processing() -> CaseStudyApplication:
+    """The Event Processing application (7 functions, IoT-inspired pipeline)."""
+    app = "Event Processing"
+    functions = (
+        _spec(app, "EventInserter", ResourceProfile(
+            cpu_user_ms=8.0, cpu_system_ms=2.0,
+            memory_working_set_mb=26.0, heap_allocated_mb=18.0,
+            service_calls=(
+                ServiceCall("aurora", "insert", _kb(2.0), _kb(0.5), calls=1),
+            ),
+            blocking_fraction=0.3, code_size_kb=380.0,
+        )),
+        _spec(app, "FormatForecast", ResourceProfile(
+            cpu_user_ms=26.0, cpu_system_ms=2.0,
+            memory_working_set_mb=30.0, heap_allocated_mb=22.0,
+            service_calls=(
+                ServiceCall("sns", "publish", _kb(3.0), _kb(0.5), calls=1),
+            ),
+            blocking_fraction=0.7, code_size_kb=260.0,
+        )),
+        _spec(app, "FormatState", ResourceProfile(
+            cpu_user_ms=20.0, cpu_system_ms=2.0,
+            memory_working_set_mb=28.0, heap_allocated_mb=20.0,
+            service_calls=(
+                ServiceCall("sns", "publish", _kb(2.0), _kb(0.5), calls=1),
+            ),
+            blocking_fraction=0.7, code_size_kb=260.0,
+        )),
+        _spec(app, "FormatTemp", ResourceProfile(
+            cpu_user_ms=15.0, cpu_system_ms=2.0,
+            memory_working_set_mb=26.0, heap_allocated_mb=18.0,
+            service_calls=(
+                ServiceCall("sns", "publish", _kb(2.0), _kb(0.5), calls=1),
+            ),
+            blocking_fraction=0.7, code_size_kb=260.0,
+        )),
+        _spec(app, "GetLatestEvents", ResourceProfile(
+            cpu_user_ms=10.0, cpu_system_ms=2.0,
+            memory_working_set_mb=28.0, heap_allocated_mb=20.0,
+            service_calls=(
+                ServiceCall("aurora", "join_query", _kb(1.0), _kb(30.0), calls=1),
+            ),
+            blocking_fraction=0.3, code_size_kb=400.0,
+        )),
+        _spec(app, "ListAllEvents", ResourceProfile(
+            cpu_user_ms=16.0, cpu_system_ms=3.0,
+            memory_working_set_mb=36.0, heap_allocated_mb=28.0,
+            service_calls=(
+                ServiceCall("aurora", "join_query", _kb(1.0), _kb(180.0), calls=1),
+            ),
+            blocking_fraction=0.35, code_size_kb=400.0,
+        )),
+        _spec(app, "IngestEvent", ResourceProfile(
+            cpu_user_ms=14.0, cpu_system_ms=3.0,
+            memory_working_set_mb=28.0, heap_allocated_mb=20.0,
+            service_calls=(
+                ServiceCall("api_gateway", "invoke", _kb(1.0), _kb(0.5), calls=1),
+                ServiceCall("sqs", "send_message", _kb(2.0), _kb(0.5), calls=1),
+                ServiceCall("sns", "publish", _kb(2.0), _kb(0.5), calls=1),
+            ),
+            blocking_fraction=0.35, code_size_kb=420.0,
+        )),
+    )
+    return CaseStudyApplication(
+        name=app,
+        functions=functions,
+        workload=Workload(requests_per_second=10.0, duration_s=600.0, warmup_s=30.0),
+        measured_months_after_training=4,
+    )
+
+
+def hello_retail() -> CaseStudyApplication:
+    """The Hello Retail application (7 functions, Nordstrom product catalog)."""
+    app = "Hello Retail"
+    functions = (
+        _spec(app, "EventWriter", ResourceProfile(
+            cpu_user_ms=18.0, cpu_system_ms=3.0,
+            memory_working_set_mb=30.0, heap_allocated_mb=22.0,
+            service_calls=(
+                ServiceCall("kinesis", "put_record", _kb(3.0), _kb(0.5), calls=1),
+                ServiceCall("dynamodb", "put_item", _kb(2.0), _kb(0.5), calls=1),
+            ),
+            blocking_fraction=0.4, code_size_kb=460.0,
+        )),
+        _spec(app, "PhotoAssign", ResourceProfile(
+            cpu_user_ms=10.0, cpu_system_ms=2.0,
+            memory_working_set_mb=26.0, heap_allocated_mb=18.0,
+            service_calls=(
+                ServiceCall("dynamodb", "query", _kb(1.0), _kb(4.0), calls=1),
+                ServiceCall("ses", "send_email", _kb(3.0), _kb(0.5), calls=1),
+            ),
+            blocking_fraction=0.3, code_size_kb=380.0,
+        )),
+        _spec(app, "PhotoProcessor", ResourceProfile(
+            cpu_user_ms=210.0, cpu_system_ms=14.0,
+            memory_working_set_mb=130.0, heap_allocated_mb=100.0,
+            service_calls=(
+                ServiceCall("s3", "get_object", _kb(0.5), _mb(3.0), calls=1),
+                ServiceCall("s3", "put_object", _kb(400.0), _kb(0.5), calls=1),
+                ServiceCall("step_functions", "send_task_success", _kb(1.0), _kb(0.5), calls=1),
+            ),
+            blocking_fraction=0.85, code_size_kb=980.0,
+        )),
+        _spec(app, "PhotoReceive", ResourceProfile(
+            cpu_user_ms=14.0, cpu_system_ms=3.0,
+            memory_working_set_mb=32.0, heap_allocated_mb=24.0,
+            service_calls=(
+                ServiceCall("api_gateway", "invoke", _kb(1.0), _kb(0.5), calls=1),
+                ServiceCall("s3", "put_object", _kb(300.0), _kb(0.5), calls=1),
+            ),
+            blocking_fraction=0.35, code_size_kb=440.0,
+        )),
+        _spec(app, "PhotoReport", ResourceProfile(
+            cpu_user_ms=12.0, cpu_system_ms=2.0,
+            memory_working_set_mb=28.0, heap_allocated_mb=20.0,
+            service_calls=(
+                ServiceCall("dynamodb", "put_item", _kb(2.0), _kb(0.5), calls=1),
+                ServiceCall("kinesis", "put_record", _kb(2.0), _kb(0.5), calls=1),
+            ),
+            blocking_fraction=0.35, code_size_kb=400.0,
+        )),
+        _spec(app, "ProductCatalogApi", ResourceProfile(
+            cpu_user_ms=16.0, cpu_system_ms=2.0,
+            memory_working_set_mb=30.0, heap_allocated_mb=22.0,
+            service_calls=(
+                ServiceCall("dynamodb", "query", _kb(1.0), _kb(10.0), calls=2),
+            ),
+            blocking_fraction=0.45, code_size_kb=420.0,
+        )),
+        _spec(app, "ProductCatalogBuilder", ResourceProfile(
+            cpu_user_ms=26.0, cpu_system_ms=3.0,
+            memory_working_set_mb=34.0, heap_allocated_mb=26.0,
+            service_calls=(
+                ServiceCall("kinesis", "get_records", _kb(0.5), _kb(20.0), calls=1),
+                ServiceCall("dynamodb", "put_item", _kb(3.0), _kb(0.5), calls=3),
+            ),
+            blocking_fraction=0.5, code_size_kb=460.0,
+        )),
+    )
+    return CaseStudyApplication(
+        name=app,
+        functions=functions,
+        workload=Workload(requests_per_second=10.0, duration_s=600.0, warmup_s=30.0),
+        measured_months_after_training=9,
+    )
+
+
+def all_case_studies() -> list[CaseStudyApplication]:
+    """All four case-study applications, in the paper's order (27 functions)."""
+    return [airline_booking(), facial_recognition(), event_processing(), hello_retail()]

@@ -1,0 +1,73 @@
+"""Function specifications: the deployable unit produced by the generator.
+
+A :class:`FunctionSpec` plays the role of the paper's generated Lambda handler
+plus ``template.yaml``: it names the function, records which segments (at
+which intensities) it is composed of, and exposes the composed
+:class:`~repro.simulation.profile.ResourceProfile` that the platform executes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.simulation.profile import ResourceProfile
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """A deployable serverless function.
+
+    Attributes
+    ----------
+    name:
+        Function name (unique within a deployment).
+    profile:
+        Composed resource demand of one invocation.
+    segments:
+        Ordered ``(segment_name, intensity)`` pairs the function is composed
+        of.  Hand-written case-study functions leave this empty.
+    application:
+        Name of the application the function belongs to (``"synthetic"`` for
+        generated functions).
+    """
+
+    name: str
+    profile: ResourceProfile
+    segments: tuple[tuple[str, float], ...] = field(default_factory=tuple)
+    application: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("function name must be non-empty")
+        object.__setattr__(self, "segments", tuple(self.segments))
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        """Names of the composed segments, in execution order."""
+        return tuple(name for name, _ in self.segments)
+
+    def structure_hash(self) -> str:
+        """Stable hash of the function's composition.
+
+        The generator uses this to guarantee that no two generated functions
+        share the same segment combination and intensities (the paper's
+        generator keeps a list of already generated function hashes).
+        """
+        parts = [f"{name}:{intensity:.3f}" for name, intensity in self.segments]
+        if not parts:
+            # Hand-written functions hash their profile instead.
+            parts = [f"{key}={value:.4f}" for key, value in sorted(self.profile.describe().items())]
+        digest = hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+        return digest[:16]
+
+    def describe(self) -> dict[str, object]:
+        """Summary dictionary used by reports and dataset metadata."""
+        return {
+            "name": self.name,
+            "application": self.application,
+            "segments": list(self.segments),
+            "hash": self.structure_hash(),
+            **{f"profile_{key}": value for key, value in self.profile.describe().items()},
+        }

@@ -1,0 +1,121 @@
+"""Open-loop load generation (the paper's Vegeta-based measurement protocol).
+
+The dataset-generation experiments drive every function at a constant request
+rate (30 req/s for synthetic functions, 10-200 req/s for the case studies)
+with exponentially distributed inter-arrival times for a fixed duration.
+:class:`LoadGenerator` produces those arrival timestamps; :class:`Workload`
+bundles the rate/duration parameters used by harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Load parameters of one measurement experiment.
+
+    Attributes
+    ----------
+    requests_per_second:
+        Mean arrival rate of the open-loop load.
+    duration_s:
+        Length of the experiment in (virtual) seconds.
+    warmup_s:
+        Initial time window whose invocations are discarded from aggregation
+        (cold starts and cache warm-up).
+    arrival_process:
+        ``"exponential"`` (Poisson arrivals, the paper's protocol) or
+        ``"uniform"`` (deterministic spacing, useful for tests).
+    """
+
+    requests_per_second: float = 30.0
+    duration_s: float = 600.0
+    warmup_s: float = 0.0
+    arrival_process: str = "exponential"
+
+    def __post_init__(self) -> None:
+        if self.requests_per_second <= 0:
+            raise ConfigurationError("requests_per_second must be positive")
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        if self.warmup_s < 0 or self.warmup_s >= self.duration_s:
+            raise ConfigurationError("warmup_s must be in [0, duration_s)")
+        if self.arrival_process not in ("exponential", "uniform"):
+            raise ConfigurationError("arrival_process must be 'exponential' or 'uniform'")
+
+    @property
+    def expected_requests(self) -> int:
+        """Expected number of requests over the full duration."""
+        return int(round(self.requests_per_second * self.duration_s))
+
+    def scaled(self, factor: float) -> "Workload":
+        """Return a workload with the duration scaled by ``factor``.
+
+        Used to run paper-scale experiment plans at laptop scale.
+        """
+        if factor <= 0:
+            raise ConfigurationError("factor must be positive")
+        duration = max(self.duration_s * factor, 1.0)
+        warmup = min(self.warmup_s * factor, duration * 0.5)
+        return Workload(
+            requests_per_second=self.requests_per_second,
+            duration_s=duration,
+            warmup_s=warmup,
+            arrival_process=self.arrival_process,
+        )
+
+
+class LoadGenerator:
+    """Produces arrival timestamps for an open-loop workload."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def arrival_times(self, workload: Workload, max_requests: int | None = None) -> list[float]:
+        """Generate sorted arrival timestamps (seconds) for ``workload``.
+
+        Parameters
+        ----------
+        workload:
+            Rate / duration / arrival-process parameters.
+        max_requests:
+            Optional hard cap on the number of generated requests, used by
+            laptop-scale harnesses to bound experiment cost while keeping the
+            arrival process shape.
+        """
+        if max_requests is not None and max_requests < 1:
+            raise ConfigurationError("max_requests must be at least 1 when given")
+        times: list[float] = []
+        if workload.arrival_process == "uniform":
+            interval = 1.0 / workload.requests_per_second
+            t = interval
+            while t < workload.duration_s:
+                times.append(t)
+                t += interval
+        else:
+            t = 0.0
+            while True:
+                t += float(self._rng.exponential(1.0 / workload.requests_per_second))
+                if t >= workload.duration_s:
+                    break
+                times.append(t)
+        if max_requests is not None and len(times) > max_requests:
+            # Keep the arrival *pattern* but subsample uniformly across the
+            # experiment so warm-up and drift are still represented.
+            idx = np.linspace(0, len(times) - 1, max_requests).astype(int)
+            times = [times[i] for i in idx]
+        return times
+
+    def split_warmup(
+        self, times: list[float], workload: Workload
+    ) -> tuple[list[float], list[float]]:
+        """Split arrival times into (warmup, measurement) windows."""
+        warmup = [t for t in times if t < workload.warmup_s]
+        measured = [t for t in times if t >= workload.warmup_s]
+        return warmup, measured

@@ -1,0 +1,387 @@
+"""The sixteen representative function segments (paper Section 3.1).
+
+Each segment is "the smallest granularity of common tasks in serverless
+functions": CPU-intensive computation, image manipulation, format conversion,
+data compression, file interaction, and calls to external services such as
+DynamoDB or S3.  A segment is defined here by the
+:class:`~repro.simulation.profile.ResourceProfile` it imposes on the worker,
+plus an intensity range from which the generator samples to diversify the
+resource consumption of generated functions (the paper's segments similarly
+ship their own inputs of varying size).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.simulation.profile import ResourceProfile, ServiceCall
+
+
+class SegmentCategory(enum.Enum):
+    """Coarse task category of a function segment."""
+
+    CPU = "cpu"
+    MEMORY = "memory"
+    FILE_IO = "file_io"
+    NETWORK = "network"
+    SERVICE = "service"
+
+
+@dataclass(frozen=True)
+class FunctionSegment:
+    """One composable building block of a synthetic serverless function.
+
+    Attributes
+    ----------
+    name:
+        Unique segment identifier.
+    category:
+        Dominant resource dimension of the segment.
+    description:
+        Human-readable description of what the segment does.
+    profile:
+        Resource demand of the segment at intensity 1.0.
+    min_intensity / max_intensity:
+        Range from which the generator samples a multiplicative intensity
+        applied to the profile (varying input sizes / iteration counts).
+    """
+
+    name: str
+    category: SegmentCategory
+    description: str
+    profile: ResourceProfile
+    min_intensity: float = 0.5
+    max_intensity: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("segment name must be non-empty")
+        if self.min_intensity <= 0 or self.max_intensity < self.min_intensity:
+            raise WorkloadError("invalid intensity range")
+
+    def instantiate(self, intensity: float) -> ResourceProfile:
+        """Return the segment's profile scaled to the given intensity.
+
+        CPU work, byte counts and service call counts scale with intensity;
+        the memory working set scales sub-linearly (larger inputs reuse
+        buffers), and the blocking fraction / code size stay fixed.
+        """
+        if intensity <= 0:
+            raise WorkloadError("intensity must be positive")
+        p = self.profile
+        scaled_calls = tuple(
+            replace(
+                call,
+                calls=max(1, int(round(call.calls * intensity))),
+                request_bytes=call.request_bytes * intensity,
+                response_bytes=call.response_bytes * intensity,
+            )
+            for call in p.service_calls
+        )
+        memory_scale = intensity**0.6
+        return ResourceProfile(
+            cpu_user_ms=p.cpu_user_ms * intensity,
+            cpu_system_ms=p.cpu_system_ms * intensity,
+            memory_working_set_mb=p.memory_working_set_mb * memory_scale,
+            heap_allocated_mb=p.heap_allocated_mb * memory_scale,
+            fs_read_bytes=p.fs_read_bytes * intensity,
+            fs_write_bytes=p.fs_write_bytes * intensity,
+            fs_read_ops=p.fs_read_ops * intensity,
+            fs_write_ops=p.fs_write_ops * intensity,
+            network_bytes_in=p.network_bytes_in * intensity,
+            network_bytes_out=p.network_bytes_out * intensity,
+            service_calls=scaled_calls,
+            code_size_kb=p.code_size_kb,
+            blocking_fraction=p.blocking_fraction,
+        )
+
+    def sample(self, rng: np.random.Generator) -> tuple[float, ResourceProfile]:
+        """Sample an intensity uniformly from the segment's range."""
+        intensity = float(rng.uniform(self.min_intensity, self.max_intensity))
+        return intensity, self.instantiate(intensity)
+
+
+def _kb(value: float) -> float:
+    return value * 1024.0
+
+
+def _mb(value: float) -> float:
+    return value * 1024.0 * 1024.0
+
+
+def default_segments() -> list[FunctionSegment]:
+    """The sixteen function segments used to build the training dataset."""
+    segments = [
+        FunctionSegment(
+            name="matrix_inversion",
+            category=SegmentCategory.CPU,
+            description="Create and invert a random dense matrix (CPU and memory bound).",
+            profile=ResourceProfile(
+                cpu_user_ms=260.0,
+                cpu_system_ms=4.0,
+                memory_working_set_mb=95.0,
+                heap_allocated_mb=80.0,
+                blocking_fraction=0.95,
+                code_size_kb=180.0,
+            ),
+            min_intensity=0.4,
+            max_intensity=3.0,
+        ),
+        FunctionSegment(
+            name="prime_numbers",
+            category=SegmentCategory.CPU,
+            description="Compute the first million prime numbers repeatedly (pure CPU).",
+            profile=ResourceProfile(
+                cpu_user_ms=420.0,
+                cpu_system_ms=2.0,
+                memory_working_set_mb=24.0,
+                heap_allocated_mb=16.0,
+                blocking_fraction=0.98,
+                code_size_kb=40.0,
+            ),
+            min_intensity=0.3,
+            max_intensity=3.0,
+        ),
+        FunctionSegment(
+            name="hash_computation",
+            category=SegmentCategory.CPU,
+            description="Hash a payload many times with SHA-256 (CPU with small memory).",
+            profile=ResourceProfile(
+                cpu_user_ms=130.0,
+                cpu_system_ms=6.0,
+                memory_working_set_mb=18.0,
+                heap_allocated_mb=10.0,
+                blocking_fraction=0.9,
+                code_size_kb=60.0,
+            ),
+        ),
+        FunctionSegment(
+            name="json_to_xml",
+            category=SegmentCategory.MEMORY,
+            description="Parse a large JSON document and serialise it to XML.",
+            profile=ResourceProfile(
+                cpu_user_ms=70.0,
+                cpu_system_ms=3.0,
+                memory_working_set_mb=55.0,
+                heap_allocated_mb=48.0,
+                blocking_fraction=0.85,
+                code_size_kb=220.0,
+            ),
+        ),
+        FunctionSegment(
+            name="image_resize",
+            category=SegmentCategory.MEMORY,
+            description="Decode, resize and re-encode a bundled JPEG image.",
+            profile=ResourceProfile(
+                cpu_user_ms=190.0,
+                cpu_system_ms=8.0,
+                memory_working_set_mb=85.0,
+                heap_allocated_mb=60.0,
+                fs_read_bytes=_mb(2.0),
+                fs_read_ops=3.0,
+                blocking_fraction=0.9,
+                code_size_kb=900.0,
+            ),
+            min_intensity=0.4,
+            max_intensity=2.5,
+        ),
+        FunctionSegment(
+            name="image_rotate",
+            category=SegmentCategory.MEMORY,
+            description="Rotate and watermark a bundled PNG image.",
+            profile=ResourceProfile(
+                cpu_user_ms=150.0,
+                cpu_system_ms=6.0,
+                memory_working_set_mb=70.0,
+                heap_allocated_mb=50.0,
+                fs_read_bytes=_mb(1.5),
+                fs_read_ops=2.0,
+                blocking_fraction=0.9,
+                code_size_kb=850.0,
+            ),
+        ),
+        FunctionSegment(
+            name="data_compression",
+            category=SegmentCategory.FILE_IO,
+            description="gzip-compress a bundled text corpus and write it to /tmp.",
+            profile=ResourceProfile(
+                cpu_user_ms=230.0,
+                cpu_system_ms=18.0,
+                memory_working_set_mb=40.0,
+                heap_allocated_mb=28.0,
+                fs_read_bytes=_mb(4.0),
+                fs_write_bytes=_mb(1.2),
+                fs_read_ops=5.0,
+                fs_write_ops=3.0,
+                blocking_fraction=0.8,
+                code_size_kb=120.0,
+            ),
+        ),
+        FunctionSegment(
+            name="file_read",
+            category=SegmentCategory.FILE_IO,
+            description="Read a bundled multi-megabyte file from the deployment package.",
+            profile=ResourceProfile(
+                cpu_user_ms=12.0,
+                cpu_system_ms=14.0,
+                memory_working_set_mb=30.0,
+                heap_allocated_mb=22.0,
+                fs_read_bytes=_mb(8.0),
+                fs_read_ops=10.0,
+                blocking_fraction=0.3,
+                code_size_kb=8200.0,
+            ),
+        ),
+        FunctionSegment(
+            name="file_write",
+            category=SegmentCategory.FILE_IO,
+            description="Write generated data to /tmp and fsync it.",
+            profile=ResourceProfile(
+                cpu_user_ms=14.0,
+                cpu_system_ms=16.0,
+                memory_working_set_mb=26.0,
+                heap_allocated_mb=18.0,
+                fs_write_bytes=_mb(6.0),
+                fs_write_ops=8.0,
+                blocking_fraction=0.3,
+                code_size_kb=90.0,
+            ),
+        ),
+        FunctionSegment(
+            name="dynamodb_read",
+            category=SegmentCategory.SERVICE,
+            description="Execute three queries against a provisioned DynamoDB table.",
+            profile=ResourceProfile(
+                cpu_user_ms=12.0,
+                cpu_system_ms=3.0,
+                memory_working_set_mb=22.0,
+                heap_allocated_mb=14.0,
+                service_calls=(
+                    ServiceCall("dynamodb", "query", request_bytes=_kb(1.0), response_bytes=_kb(6.0), calls=3),
+                ),
+                blocking_fraction=0.2,
+                code_size_kb=310.0,
+            ),
+        ),
+        FunctionSegment(
+            name="dynamodb_write",
+            category=SegmentCategory.SERVICE,
+            description="Write a batch of items to a DynamoDB table.",
+            profile=ResourceProfile(
+                cpu_user_ms=10.0,
+                cpu_system_ms=3.0,
+                memory_working_set_mb=22.0,
+                heap_allocated_mb=14.0,
+                service_calls=(
+                    ServiceCall("dynamodb", "put_item", request_bytes=_kb(4.0), response_bytes=_kb(0.5), calls=3),
+                ),
+                blocking_fraction=0.2,
+                code_size_kb=310.0,
+            ),
+        ),
+        FunctionSegment(
+            name="s3_download",
+            category=SegmentCategory.SERVICE,
+            description="Download an object from S3 into memory.",
+            profile=ResourceProfile(
+                cpu_user_ms=18.0,
+                cpu_system_ms=8.0,
+                memory_working_set_mb=45.0,
+                heap_allocated_mb=35.0,
+                service_calls=(
+                    ServiceCall("s3", "get_object", request_bytes=_kb(0.5), response_bytes=_mb(1.5), calls=1),
+                ),
+                blocking_fraction=0.25,
+                code_size_kb=340.0,
+            ),
+            min_intensity=0.3,
+            max_intensity=2.5,
+        ),
+        FunctionSegment(
+            name="s3_upload",
+            category=SegmentCategory.SERVICE,
+            description="Upload a generated object to S3.",
+            profile=ResourceProfile(
+                cpu_user_ms=16.0,
+                cpu_system_ms=8.0,
+                memory_working_set_mb=40.0,
+                heap_allocated_mb=30.0,
+                service_calls=(
+                    ServiceCall("s3", "put_object", request_bytes=_mb(1.0), response_bytes=_kb(0.5), calls=1),
+                ),
+                blocking_fraction=0.25,
+                code_size_kb=340.0,
+            ),
+            min_intensity=0.3,
+            max_intensity=2.5,
+        ),
+        FunctionSegment(
+            name="external_api_call",
+            category=SegmentCategory.NETWORK,
+            description="Call an external third-party HTTP API and parse the response.",
+            profile=ResourceProfile(
+                cpu_user_ms=8.0,
+                cpu_system_ms=3.0,
+                memory_working_set_mb=20.0,
+                heap_allocated_mb=12.0,
+                service_calls=(
+                    ServiceCall("external_api", "invoke", request_bytes=_kb(1.0), response_bytes=_kb(24.0), calls=1),
+                ),
+                blocking_fraction=0.15,
+                code_size_kb=150.0,
+            ),
+        ),
+        FunctionSegment(
+            name="sns_publish",
+            category=SegmentCategory.SERVICE,
+            description="Publish a notification message to an SNS topic.",
+            profile=ResourceProfile(
+                cpu_user_ms=7.0,
+                cpu_system_ms=2.0,
+                memory_working_set_mb=20.0,
+                heap_allocated_mb=12.0,
+                service_calls=(
+                    ServiceCall("sns", "publish", request_bytes=_kb(2.0), response_bytes=_kb(0.5), calls=1),
+                ),
+                blocking_fraction=0.15,
+                code_size_kb=290.0,
+            ),
+        ),
+        FunctionSegment(
+            name="sqs_send",
+            category=SegmentCategory.SERVICE,
+            description="Send a batch of messages to an SQS queue.",
+            profile=ResourceProfile(
+                cpu_user_ms=8.0,
+                cpu_system_ms=2.0,
+                memory_working_set_mb=20.0,
+                heap_allocated_mb=12.0,
+                service_calls=(
+                    ServiceCall("sqs", "send_message", request_bytes=_kb(2.0), response_bytes=_kb(0.5), calls=2),
+                ),
+                blocking_fraction=0.15,
+                code_size_kb=290.0,
+            ),
+        ),
+    ]
+    return segments
+
+
+_SEGMENT_INDEX: dict[str, FunctionSegment] | None = None
+
+
+def get_segment(name: str) -> FunctionSegment:
+    """Look up a default segment by name."""
+    global _SEGMENT_INDEX
+    if _SEGMENT_INDEX is None:
+        _SEGMENT_INDEX = {segment.name: segment for segment in default_segments()}
+    try:
+        return _SEGMENT_INDEX[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown segment {name!r}; available: {sorted(_SEGMENT_INDEX)}"
+        ) from None

@@ -1,0 +1,102 @@
+"""Unit tests for the Power Tuning, COSE and BATCH baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.baselines import BatchPolynomialBaseline, CoseBaseline, PowerTuningBaseline
+
+SIZES = (128, 256, 512, 1024, 2048, 3008)
+
+
+class TestPowerTuning:
+    def test_measures_every_size(self, cpu_function):
+        baseline = PowerTuningBaseline(invocations_per_measurement=6, seed=1)
+        result = baseline.recommend(cpu_function)
+        assert result.measurements_used == len(SIZES)
+        assert result.measured_sizes_mb == SIZES
+        assert set(result.execution_times_ms) == set(SIZES)
+
+    def test_selects_a_candidate_size(self, service_function):
+        result = PowerTuningBaseline(invocations_per_measurement=6, seed=2).recommend(service_function)
+        assert result.selected_memory_mb in SIZES
+
+    def test_cpu_bound_not_sized_at_minimum(self, cpu_function):
+        """A strongly CPU-bound function should never stay at 128 MB."""
+        result = PowerTuningBaseline(invocations_per_measurement=8, seed=3).recommend(cpu_function)
+        assert result.selected_memory_mb > 128
+
+    def test_measurement_counter_accumulates(self, cpu_function, service_function):
+        baseline = PowerTuningBaseline(invocations_per_measurement=6, seed=4)
+        baseline.recommend(cpu_function)
+        baseline.recommend(service_function)
+        assert baseline.measurement_count == 2 * len(SIZES)
+
+
+class TestCose:
+    def test_respects_measurement_budget(self, cpu_function):
+        baseline = CoseBaseline(invocations_per_measurement=6, seed=1, measurement_budget=3)
+        result = baseline.recommend(cpu_function)
+        assert result.measurements_used == 3
+        assert len(result.measured_sizes_mb) == 3
+
+    def test_estimates_every_size(self, cpu_function):
+        result = CoseBaseline(invocations_per_measurement=6, seed=2, measurement_budget=3).recommend(
+            cpu_function
+        )
+        assert set(result.execution_times_ms) == set(SIZES)
+        assert all(value > 0 for value in result.execution_times_ms.values())
+
+    def test_inverse_model_close_for_cpu_bound(self, cpu_function, noise_free_model):
+        """The 1/m surrogate should land near the truth for CPU-bound functions."""
+        result = CoseBaseline(invocations_per_measurement=10, seed=3, measurement_budget=3).recommend(
+            cpu_function
+        )
+        truth = noise_free_model.expected_execution_time_ms(cpu_function.profile, 512)
+        assert result.execution_times_ms[512] == pytest.approx(truth, rel=0.5)
+
+    def test_budget_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoseBaseline(measurement_budget=1)
+
+
+class TestBatchPolynomial:
+    def test_measures_sparse_subset(self, service_function):
+        baseline = BatchPolynomialBaseline(
+            invocations_per_measurement=6, seed=1, measured_sizes=3, degree=2
+        )
+        result = baseline.recommend(service_function)
+        assert result.measurements_used == 3
+        assert set(result.measured_sizes_mb) <= set(SIZES)
+        assert set(result.execution_times_ms) == set(SIZES)
+
+    def test_interpolation_positive(self, cpu_function):
+        result = BatchPolynomialBaseline(invocations_per_measurement=6, seed=2).recommend(cpu_function)
+        assert all(value > 0 for value in result.execution_times_ms.values())
+
+    def test_needs_enough_measurements_for_degree(self):
+        with pytest.raises(ConfigurationError):
+            BatchPolynomialBaseline(measured_sizes=2, degree=2)
+
+    def test_sparse_sizes_span_range(self):
+        baseline = BatchPolynomialBaseline(measured_sizes=3)
+        picked = baseline._select_measurement_sizes()
+        assert picked[0] == 128 and picked[-1] == 3008
+
+
+class TestCommonInterface:
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerTuningBaseline(memory_sizes_mb=())
+
+    def test_all_baselines_agree_on_result_schema(self, service_function):
+        for baseline in (
+            PowerTuningBaseline(invocations_per_measurement=5, seed=1),
+            CoseBaseline(invocations_per_measurement=5, seed=2, measurement_budget=3),
+            BatchPolynomialBaseline(invocations_per_measurement=5, seed=3),
+        ):
+            result = baseline.recommend(service_function)
+            assert result.function_name == service_function.name
+            assert result.approach == baseline.name
+            assert result.selected_memory_mb in SIZES

@@ -1,0 +1,231 @@
+"""Unit tests for the training pipeline, optimizer, predictor, PDP and pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DatasetError, ModelError, OptimizationError
+from repro.core.optimizer import MemoryRecommendation, MemorySizeOptimizer, TradeoffConfig
+from repro.core.partial_dependence import feature_importances, partial_dependence
+from repro.core.pipeline import PipelineConfig, SizelessPipeline
+from repro.core.predictor import SizelessPredictor
+from repro.core.training import build_training_matrices, cross_validate_base_size, train_model
+from repro.dataset.schema import MeasurementDataset
+from repro.ml.network import NetworkConfig
+from repro.simulation.pricing import PricingModel
+
+TINY_NET = NetworkConfig(
+    n_layers=2, n_neurons=24, epochs=100, learning_rate=0.01, loss="mse", l2=0.0001, seed=1
+)
+
+
+class TestTraining:
+    def test_build_matrices_shapes(self, small_dataset):
+        matrices = build_training_matrices(small_dataset, base_memory_mb=256)
+        assert matrices.features.shape[0] == len(small_dataset)
+        assert matrices.ratios.shape == (len(small_dataset), 5)
+        assert matrices.base_memory_mb == 256
+        assert 256 not in matrices.target_memory_sizes_mb
+
+    def test_ratios_relative_to_base(self, small_dataset):
+        matrices = build_training_matrices(small_dataset, base_memory_mb=256)
+        measurement = small_dataset.get(matrices.function_names[0])
+        expected = measurement.execution_time_ms(128) / measurement.execution_time_ms(256)
+        column = matrices.target_memory_sizes_mb.index(128)
+        assert matrices.ratios[0, column] == pytest.approx(expected)
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            build_training_matrices(MeasurementDataset(), base_memory_mb=256)
+
+    def test_missing_base_size_raises(self, small_dataset):
+        with pytest.raises(DatasetError):
+            build_training_matrices(small_dataset, base_memory_mb=999)
+
+    def test_train_model_returns_fitted(self, small_dataset):
+        model = train_model(small_dataset, base_memory_mb=512, network_config=TINY_NET)
+        assert model.is_fitted
+        assert model.base_memory_mb == 512
+
+    def test_cross_validate_reports_all_metrics(self, small_dataset):
+        report = cross_validate_base_size(
+            small_dataset, base_memory_mb=256, network_config=TINY_NET, n_splits=3, n_repeats=1
+        )
+        assert set(report) == {"mse", "mape", "r2", "explained_variance"}
+        assert report["mse"] >= 0.0 and report["mape"] >= 0.0
+
+
+class TestOptimizer:
+    TIMES = {128: 1000.0, 256: 500.0, 512: 260.0, 1024: 140.0, 2048: 90.0, 3008: 80.0}
+
+    def test_scores_minimum_is_one(self):
+        optimizer = MemorySizeOptimizer()
+        assert min(optimizer.cost_scores(self.TIMES).values()) == pytest.approx(1.0)
+        assert min(optimizer.performance_scores(self.TIMES).values()) == pytest.approx(1.0)
+
+    def test_performance_score_of_fastest_is_one(self):
+        optimizer = MemorySizeOptimizer()
+        scores = optimizer.performance_scores(self.TIMES)
+        assert scores[3008] == pytest.approx(1.0)
+
+    def test_tradeoff_extremes(self):
+        optimizer = MemorySizeOptimizer()
+        cheapest = min(
+            optimizer.costs(self.TIMES), key=lambda size: optimizer.costs(self.TIMES)[size]
+        )
+        fastest = min(self.TIMES, key=self.TIMES.get)
+        assert optimizer.select(self.TIMES, tradeoff=1.0) == cheapest
+        assert optimizer.select(self.TIMES, tradeoff=0.0) == fastest
+
+    def test_lower_tradeoff_never_selects_slower_size(self):
+        optimizer = MemorySizeOptimizer()
+        speed_focused = optimizer.select(self.TIMES, tradeoff=0.25)
+        cost_focused = optimizer.select(self.TIMES, tradeoff=0.75)
+        assert self.TIMES[speed_focused] <= self.TIMES[cost_focused]
+
+    def test_recommendation_structure(self):
+        recommendation = MemorySizeOptimizer().recommend(self.TIMES)
+        assert isinstance(recommendation, MemoryRecommendation)
+        assert recommendation.selected_memory_mb == recommendation.ranking[0]
+        assert set(recommendation.total_scores) == set(self.TIMES)
+        assert recommendation.selected_execution_time_ms == self.TIMES[recommendation.selected_memory_mb]
+
+    def test_ranking_sorted_by_total_score(self):
+        recommendation = MemorySizeOptimizer().recommend(self.TIMES)
+        scores = [recommendation.total_scores[size] for size in recommendation.ranking]
+        assert scores == sorted(scores)
+
+    def test_rank_of(self):
+        optimizer = MemorySizeOptimizer()
+        best = optimizer.select(self.TIMES)
+        assert optimizer.rank_of(best, self.TIMES) == 1
+        worst = optimizer.recommend(self.TIMES).ranking[-1]
+        assert optimizer.rank_of(worst, self.TIMES) == len(self.TIMES)
+
+    def test_rank_of_unknown_size_raises(self):
+        with pytest.raises(OptimizationError):
+            MemorySizeOptimizer().rank_of(4096, self.TIMES)
+
+    def test_validation_errors(self):
+        optimizer = MemorySizeOptimizer()
+        with pytest.raises(OptimizationError):
+            optimizer.select({})
+        with pytest.raises(OptimizationError):
+            optimizer.select({128: -1.0})
+        with pytest.raises(OptimizationError):
+            TradeoffConfig(tradeoff=1.5)
+
+    def test_scost_interpretation(self):
+        """S_cost = 1.5 means 50 % more expensive than the cheapest option."""
+        optimizer = MemorySizeOptimizer()
+        costs = optimizer.costs(self.TIMES)
+        scores = optimizer.cost_scores(self.TIMES)
+        cheapest = min(costs.values())
+        for size, score in scores.items():
+            assert score == pytest.approx(costs[size] / cheapest)
+
+    def test_float_tradeoff_accepted_in_constructor(self):
+        optimizer = MemorySizeOptimizer(tradeoff=0.5)
+        assert optimizer.tradeoff.tradeoff == 0.5
+
+
+class TestPredictor:
+    def test_requires_fitted_model(self):
+        from repro.core.model import SizelessModel
+
+        with pytest.raises(ModelError):
+            SizelessPredictor(SizelessModel())
+
+    def test_predict_and_recommend(self, trained_model, sample_summary):
+        predictor = SizelessPredictor(trained_model)
+        prediction = predictor.predict(sample_summary)
+        assert prediction.base_memory_mb == 256
+        assert set(prediction.execution_times_ms) == {128, 256, 512, 1024, 2048, 3008}
+        recommendation = predictor.recommend(sample_summary, tradeoff=0.75)
+        assert recommendation.selected_memory_mb in prediction.execution_times_ms
+
+    def test_missing_base_model_raises(self, trained_model, small_dataset):
+        predictor = SizelessPredictor(trained_model)
+        with pytest.raises(ModelError):
+            predictor.predict(small_dataset.measurements[0].summary_at(512))
+
+    def test_recommend_many(self, trained_model, small_dataset):
+        predictor = SizelessPredictor(trained_model)
+        summaries = [m.summary_at(256) for m in small_dataset.measurements[:3]]
+        recommendations = predictor.recommend_many(summaries)
+        assert len(recommendations) == 3
+
+    def test_custom_pricing(self, trained_model, sample_summary):
+        predictor = SizelessPredictor(trained_model, pricing=PricingModel.for_provider("gcloud"))
+        assert predictor.recommend(sample_summary).selected_memory_mb > 0
+
+
+class TestPartialDependence:
+    def test_curve_shapes(self, trained_model, small_matrices):
+        name = trained_model.config.feature_names[1]
+        pd_result = partial_dependence(trained_model, small_matrices.features, name, n_grid_points=5)
+        assert pd_result.grid.shape == (5,)
+        assert pd_result.normalized_grid.min() == pytest.approx(0.0)
+        assert pd_result.normalized_grid.max() == pytest.approx(1.0)
+        assert set(pd_result.predicted_speedups) == set(trained_model.target_memory_sizes_mb)
+
+    def test_importances_cover_all_features(self, trained_model, small_matrices):
+        importances = feature_importances(trained_model, small_matrices.features, n_grid_points=4)
+        assert set(importances) == set(trained_model.config.feature_names)
+        values = list(importances.values())
+        assert values == sorted(values, reverse=True)
+
+    def test_unknown_feature_raises(self, trained_model, small_matrices):
+        with pytest.raises(ModelError):
+            partial_dependence(trained_model, small_matrices.features, "not_a_feature")
+
+    def test_unfitted_model_raises(self, small_matrices):
+        from repro.core.model import SizelessModel
+
+        with pytest.raises(ModelError):
+            partial_dependence(SizelessModel(), small_matrices.features, "heap_used_mean")
+
+
+class TestPipeline:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(n_training_functions=1)
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(base_memory_sizes_mb=(384,))
+
+    def test_train_on_existing_dataset_and_recommend(self, small_dataset, cpu_function):
+        pipeline = SizelessPipeline(
+            PipelineConfig(
+                n_training_functions=30,
+                invocations_per_size=8,
+                network=TINY_NET,
+                monitoring_invocations=6,
+                seed=3,
+            )
+        )
+        predictor = pipeline.train(small_dataset)
+        assert predictor is pipeline.predictor
+        recommendation = pipeline.recommend(cpu_function, tradeoff=0.75)
+        assert recommendation.selected_memory_mb in (128, 256, 512, 1024, 2048, 3008)
+        prediction = pipeline.predict(cpu_function)
+        assert len(prediction.execution_times_ms) == 6
+
+    def test_recommend_before_training_raises(self, cpu_function):
+        pipeline = SizelessPipeline(PipelineConfig(network=TINY_NET))
+        with pytest.raises(ModelError):
+            pipeline.recommend(cpu_function)
+
+    def test_train_empty_dataset_raises(self):
+        pipeline = SizelessPipeline(PipelineConfig(network=TINY_NET))
+        with pytest.raises(ConfigurationError):
+            pipeline.train(MeasurementDataset())
+
+    def test_monitor_function_returns_base_summary(self, small_dataset, cpu_function):
+        pipeline = SizelessPipeline(
+            PipelineConfig(network=TINY_NET, monitoring_invocations=5, seed=4)
+        )
+        pipeline.train(small_dataset)
+        summary = pipeline.monitor_function(cpu_function)
+        assert summary.memory_mb == 256
+        assert summary.mean_execution_time_ms > 0

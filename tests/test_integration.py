@@ -1,0 +1,110 @@
+"""End-to-end integration tests across the whole library.
+
+These exercise the full offline + online flow (generate -> measure -> train ->
+predict -> optimize) at a small scale and check the qualitative properties the
+paper relies on, without pinning exact accuracy numbers (those are recorded by
+the benchmarks in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.optimizer import MemorySizeOptimizer
+from repro.core.predictor import SizelessPredictor
+from repro.core.training import train_model
+from repro.dataset.harness import HarnessConfig, MeasurementHarness
+from repro.simulation.platform import PlatformConfig, ServerlessPlatform
+from repro.workloads.applications import facial_recognition
+
+
+class TestPackageSurface:
+    def test_version_and_constants(self):
+        assert repro.__version__
+        assert repro.MEMORY_SIZES_MB == (128, 256, 512, 1024, 2048, 3008)
+        assert repro.DEFAULT_BASE_SIZE_MB == 256
+
+    def test_lazy_exports_resolve(self):
+        assert repro.SizelessPipeline is not None
+        assert repro.MemorySizeOptimizer is not None
+        with pytest.raises(AttributeError):
+            _ = repro.DoesNotExist
+
+
+class TestOfflineOnlineFlow:
+    def test_predictions_transfer_to_unseen_functions(self, small_dataset, tiny_network_config):
+        """Train on synthetic functions, predict an unseen case-study function."""
+        model = train_model(small_dataset, base_memory_mb=256, network_config=tiny_network_config)
+        predictor = SizelessPredictor(model)
+
+        application = facial_recognition()
+        harness = MeasurementHarness(
+            platform=ServerlessPlatform(
+                config=PlatformConfig(allowed_memory_sizes_mb=None, seed=321)
+            ),
+            config=HarnessConfig(max_invocations_per_size=10, seed=5),
+        )
+        function = application.get_function("PersistMetadata")
+        measurement = harness.measure_function(function)
+        truth = measurement.execution_times()
+        prediction = predictor.predict(measurement.summary_at(256))
+
+        # Qualitative transfer: predicted times decrease from 128 MB to larger
+        # sizes and stay within a factor of ~2 of the measured truth.
+        predicted = prediction.execution_times_ms
+        assert predicted[128] > predicted[3008]
+        for size, true_time in truth.items():
+            assert predicted[size] == pytest.approx(true_time, rel=1.2)
+
+    def test_recommendation_beats_default_size(self, small_dataset, tiny_network_config):
+        """The recommended size should outperform the 128 MB default in S_total."""
+        model = train_model(small_dataset, base_memory_mb=256, network_config=tiny_network_config)
+        predictor = SizelessPredictor(model)
+        optimizer = MemorySizeOptimizer(tradeoff=0.75)
+
+        harness = MeasurementHarness(
+            platform=ServerlessPlatform(
+                config=PlatformConfig(allowed_memory_sizes_mb=None, seed=654)
+            ),
+            config=HarnessConfig(max_invocations_per_size=10, seed=6),
+        )
+        application = facial_recognition()
+        improvements = []
+        for function in application.functions:
+            measurement = harness.measure_function(function)
+            truth = measurement.execution_times()
+            recommendation = predictor.recommend(measurement.summary_at(256), tradeoff=0.75)
+            true_scores = optimizer.total_scores(truth)
+            improvements.append(true_scores[128] - true_scores[recommendation.selected_memory_mb])
+        # On average across the application the recommendation is at least as
+        # good as leaving every function at the default size.
+        assert float(np.mean(improvements)) >= 0.0
+
+    def test_cross_seed_measurements_are_consistent(self, cpu_function):
+        """Two independently seeded platforms agree on mean execution times."""
+        times = []
+        for seed in (1, 2):
+            harness = MeasurementHarness(
+                platform=ServerlessPlatform(
+                    config=PlatformConfig(allowed_memory_sizes_mb=None, seed=seed)
+                ),
+                config=HarnessConfig(max_invocations_per_size=20, seed=seed + 10),
+            )
+            times.append(harness.measure_function(cpu_function, memory_sizes_mb=(512,)).execution_time_ms(512))
+        assert times[0] == pytest.approx(times[1], rel=0.15)
+
+    def test_dataset_roundtrip_preserves_training(self, small_dataset, tiny_network_config, tmp_path):
+        """Saving and reloading the dataset yields an equally usable training set."""
+        from repro.dataset.io import load_dataset_json, save_dataset_json
+
+        path = save_dataset_json(small_dataset, tmp_path / "ds.json")
+        reloaded = load_dataset_json(path)
+        model_a = train_model(small_dataset, base_memory_mb=256, network_config=tiny_network_config)
+        model_b = train_model(reloaded, base_memory_mb=256, network_config=tiny_network_config)
+        summary = small_dataset.measurements[0].summary_at(256)
+        times_a = model_a.predict_execution_times(summary)
+        times_b = model_b.predict_execution_times(summary)
+        for size in times_a:
+            assert times_a[size] == pytest.approx(times_b[size], rel=0.05)

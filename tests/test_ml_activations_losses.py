@@ -1,0 +1,122 @@
+"""Unit tests for activations and loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ml.activations import LeakyReLU, Linear, ReLU, Sigmoid, Tanh, get_activation
+from repro.ml.losses import (
+    MeanAbsoluteError,
+    MeanAbsolutePercentageError,
+    MeanSquaredError,
+    get_loss,
+)
+
+
+class TestActivations:
+    def test_relu_forward_clamps_negatives(self):
+        x = np.array([[-2.0, 0.0, 3.0]])
+        assert np.allclose(ReLU().forward(x), [[0.0, 0.0, 3.0]])
+
+    def test_relu_backward_masks_gradient(self):
+        x = np.array([[-1.0, 2.0]])
+        grad = ReLU().backward(x, np.array([[5.0, 5.0]]))
+        assert np.allclose(grad, [[0.0, 5.0]])
+
+    def test_linear_is_identity(self):
+        x = np.array([[1.5, -2.5]])
+        assert np.allclose(Linear().forward(x), x)
+        assert np.allclose(Linear().backward(x, x), x)
+
+    def test_tanh_bounded(self):
+        x = np.linspace(-10, 10, 50).reshape(1, -1)
+        out = Tanh().forward(x)
+        assert np.all(out <= 1.0) and np.all(out >= -1.0)
+
+    def test_sigmoid_stable_for_large_inputs(self):
+        x = np.array([[-1000.0, 0.0, 1000.0]])
+        out = Sigmoid().forward(x)
+        assert np.all(np.isfinite(out))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert out[0, 2] == pytest.approx(1.0, abs=1e-12)
+
+    def test_leaky_relu_negative_slope(self):
+        activation = LeakyReLU(negative_slope=0.1)
+        assert activation.forward(np.array([[-10.0]]))[0, 0] == pytest.approx(-1.0)
+
+    def test_leaky_relu_rejects_negative_slope_param(self):
+        with pytest.raises(ConfigurationError):
+            LeakyReLU(negative_slope=-0.1)
+
+    @pytest.mark.parametrize("name", ["relu", "linear", "tanh", "sigmoid", "leaky_relu"])
+    def test_get_activation_by_name(self, name):
+        assert get_activation(name).name in (name, "identity")
+
+    def test_get_activation_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_activation("swish")
+
+    def test_get_activation_passthrough_instance(self):
+        instance = ReLU()
+        assert get_activation(instance) is instance
+
+    @pytest.mark.parametrize("cls", [ReLU, Tanh, Sigmoid, Linear])
+    def test_backward_matches_numerical_gradient(self, cls):
+        activation = cls()
+        x = np.array([[0.3, -0.7, 1.2]])
+        grad_out = np.ones_like(x)
+        analytic = activation.backward(x, grad_out)
+        eps = 1e-6
+        numeric = (activation.forward(x + eps) - activation.forward(x - eps)) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = MeanSquaredError()
+        assert loss.value(np.array([1.0, 2.0]), np.array([2.0, 2.0])) == pytest.approx(0.5)
+
+    def test_mae_value(self):
+        loss = MeanAbsoluteError()
+        assert loss.value(np.array([1.0, 3.0]), np.array([2.0, 1.0])) == pytest.approx(1.5)
+
+    def test_mape_value_is_fractional(self):
+        loss = MeanAbsolutePercentageError()
+        assert loss.value(np.array([2.0]), np.array([3.0])) == pytest.approx(0.5)
+
+    def test_perfect_prediction_zero_loss(self):
+        y = np.array([[1.0, 2.0], [3.0, 4.0]])
+        for name in ("mse", "mae", "mape"):
+            assert get_loss(name).value(y, y) == pytest.approx(0.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            MeanSquaredError().value(np.zeros(3), np.zeros(4))
+
+    @pytest.mark.parametrize("name", ["mse", "mae", "mape"])
+    def test_gradient_matches_numerical(self, name):
+        loss = get_loss(name)
+        rng = np.random.default_rng(0)
+        y_true = rng.uniform(0.5, 2.0, size=(4, 3))
+        y_pred = y_true + rng.uniform(0.05, 0.3, size=(4, 3))
+        analytic = loss.gradient(y_true, y_pred)
+        eps = 1e-6
+        numeric = np.zeros_like(y_pred)
+        for i in range(y_pred.shape[0]):
+            for j in range(y_pred.shape[1]):
+                plus = y_pred.copy()
+                plus[i, j] += eps
+                minus = y_pred.copy()
+                minus[i, j] -= eps
+                numeric[i, j] = (loss.value(y_true, plus) - loss.value(y_true, minus)) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_get_loss_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_loss("huber")
+
+    def test_get_loss_passthrough_instance(self):
+        instance = MeanSquaredError()
+        assert get_loss(instance) is instance

@@ -1,0 +1,72 @@
+"""Unit tests for the regression quality metrics (Table 3 metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ml.metrics import (
+    explained_variance_score,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    r2_score,
+    regression_report,
+)
+
+
+class TestRegressionMetrics:
+    def test_mse_simple(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_mae_simple(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_mape_fractional(self):
+        assert mean_absolute_percentage_error([2.0, 4.0], [1.0, 4.0]) == pytest.approx(0.25)
+
+    def test_perfect_prediction(self):
+        y = np.array([[1.0, 2.0], [3.0, 4.0]])
+        report = regression_report(y, y)
+        assert report["mse"] == 0.0
+        assert report["mape"] == 0.0
+        assert report["r2"] == 1.0
+        assert report["explained_variance"] == 1.0
+
+    def test_r2_of_mean_predictor_is_zero(self, rng):
+        y = rng.normal(size=100)
+        prediction = np.full_like(y, y.mean())
+        assert r2_score(y, prediction) == pytest.approx(0.0, abs=1e-9)
+
+    def test_r2_worse_than_mean_is_negative(self, rng):
+        y = rng.normal(size=100)
+        assert r2_score(y, -3.0 * y) < 0.0
+
+    def test_explained_variance_ignores_constant_offset(self, rng):
+        y = rng.normal(size=200)
+        assert explained_variance_score(y, y + 5.0) == pytest.approx(1.0)
+        assert r2_score(y, y + 5.0) < 1.0
+
+    def test_multi_target_uniform_average(self):
+        y_true = np.column_stack([np.arange(10.0), np.arange(10.0)])
+        y_pred = np.column_stack([np.arange(10.0), np.full(10, 4.5)])
+        # First column perfect (1.0), second column is the mean predictor (0.0).
+        assert r2_score(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_constant_target_column_perfect(self):
+        y = np.column_stack([np.ones(5), np.arange(5.0)])
+        assert r2_score(y, y) == 1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            mean_squared_error(np.zeros(3), np.zeros((3, 2)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            mean_squared_error(np.array([]), np.array([]))
+
+    def test_report_keys(self, rng):
+        y = rng.normal(size=(20, 3))
+        report = regression_report(y, y + 0.1)
+        assert set(report) == {"mse", "mape", "r2", "explained_variance"}

@@ -1,0 +1,221 @@
+"""Unit tests for the monitoring layer: metrics, collector, aggregation, stability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MonitoringError
+from repro.monitoring.aggregation import MetricAggregate, aggregate_records
+from repro.monitoring.collector import MonitoringRecord, ResourceConsumptionMonitor
+from repro.monitoring.metrics import (
+    METRIC_NAMES,
+    METRIC_SOURCES,
+    PRODUCTION_METRICS,
+    validate_metric_dict,
+)
+from repro.monitoring.stability import (
+    StabilityAnalysis,
+    cliffs_delta,
+    interpret_cliffs_delta,
+    mann_whitney_u,
+)
+
+
+def _metrics(execution_time=100.0, **overrides) -> dict[str, float]:
+    metrics = {name: 1.0 for name in METRIC_NAMES}
+    metrics["execution_time"] = execution_time
+    metrics.update(overrides)
+    return metrics
+
+
+def _record(t=0.0, execution_time=100.0, memory=256.0, name="f", cold=False, **overrides):
+    return MonitoringRecord(
+        function_name=name,
+        memory_mb=memory,
+        timestamp_s=t,
+        metrics=_metrics(execution_time, **overrides),
+        cold_start=cold,
+    )
+
+
+class TestMetricDefinitions:
+    def test_25_metrics(self):
+        assert len(METRIC_NAMES) == 25
+
+    def test_sources_cover_all_metrics(self):
+        assert set(METRIC_SOURCES) == set(METRIC_NAMES)
+
+    def test_production_metrics_are_the_paper_six(self):
+        assert set(PRODUCTION_METRICS) == {
+            "heap_used",
+            "user_cpu_time",
+            "system_cpu_time",
+            "vol_context_switches",
+            "fs_writes",
+            "bytes_received",
+        }
+
+    def test_validate_accepts_complete_dict(self):
+        assert validate_metric_dict(_metrics()) is not None
+
+    def test_validate_rejects_missing(self):
+        metrics = _metrics()
+        del metrics["heap_used"]
+        with pytest.raises(MonitoringError):
+            validate_metric_dict(metrics)
+
+    def test_validate_rejects_unknown(self):
+        metrics = _metrics()
+        metrics["bogus"] = 1.0
+        with pytest.raises(MonitoringError):
+            validate_metric_dict(metrics)
+
+    def test_validate_rejects_nan(self):
+        with pytest.raises(MonitoringError):
+            validate_metric_dict(_metrics(heap_used=float("nan")))
+
+
+class TestCollector:
+    def test_observe_platform_records(self, platform, cpu_function):
+        platform.deploy(cpu_function.name, cpu_function.profile, 512)
+        records = platform.invoke_many(cpu_function.name, [0.0, 1.0, 2.0])
+        monitor = ResourceConsumptionMonitor()
+        monitor.observe_all(records)
+        assert len(monitor) == 3
+        assert monitor.function_names() == [cpu_function.name]
+
+    def test_for_function_filters(self):
+        monitor = ResourceConsumptionMonitor()
+        monitor.add(_record(t=0.0, name="a", memory=128.0))
+        monitor.add(_record(t=1.0, name="a", memory=256.0))
+        monitor.add(_record(t=2.0, name="b", memory=128.0))
+        assert len(monitor.for_function("a")) == 2
+        assert len(monitor.for_function("a", memory_mb=128.0)) == 1
+        assert len(monitor.for_function("a", after_s=0.5)) == 1
+
+    def test_cold_start_filter(self):
+        monitor = ResourceConsumptionMonitor()
+        monitor.add(_record(cold=True))
+        monitor.add(_record(t=1.0))
+        assert len(monitor.for_function("f", include_cold_starts=False)) == 1
+
+    def test_metric_series(self):
+        monitor = ResourceConsumptionMonitor()
+        monitor.add(_record(execution_time=100.0))
+        monitor.add(_record(t=1.0, execution_time=200.0))
+        series = monitor.metric_series("f", "execution_time")
+        assert np.allclose(series, [100.0, 200.0])
+
+    def test_metric_series_unknown_metric(self):
+        monitor = ResourceConsumptionMonitor()
+        monitor.add(_record())
+        with pytest.raises(MonitoringError):
+            monitor.metric_series("f", "not_a_metric")
+
+    def test_metric_series_empty_raises(self):
+        with pytest.raises(MonitoringError):
+            ResourceConsumptionMonitor().metric_series("missing", "execution_time")
+
+    def test_clear(self):
+        monitor = ResourceConsumptionMonitor()
+        monitor.add(_record())
+        monitor.clear()
+        assert len(monitor) == 0
+
+
+class TestAggregation:
+    def test_aggregate_mean_std_cv(self):
+        records = [_record(t=i, execution_time=100.0 + 10 * i) for i in range(5)]
+        summary = aggregate_records(records)
+        values = [100.0, 110.0, 120.0, 130.0, 140.0]
+        assert summary.mean("execution_time") == pytest.approx(np.mean(values))
+        assert summary.std("execution_time") == pytest.approx(np.std(values))
+        assert summary.cv("execution_time") == pytest.approx(np.std(values) / np.mean(values))
+
+    def test_aggregate_excludes_cold_starts(self):
+        records = [_record(cold=True, execution_time=1000.0), _record(t=1.0, execution_time=100.0)]
+        summary = aggregate_records(records, exclude_cold_starts=True)
+        assert summary.mean_execution_time_ms == pytest.approx(100.0)
+        assert summary.n_invocations == 1
+
+    def test_aggregate_all_cold_falls_back(self):
+        records = [_record(cold=True, execution_time=500.0)]
+        summary = aggregate_records(records)
+        assert summary.mean_execution_time_ms == pytest.approx(500.0)
+
+    def test_aggregate_rejects_mixed_functions(self):
+        with pytest.raises(MonitoringError):
+            aggregate_records([_record(name="a"), _record(name="b")])
+
+    def test_aggregate_rejects_mixed_sizes(self):
+        with pytest.raises(MonitoringError):
+            aggregate_records([_record(memory=128.0), _record(memory=256.0)])
+
+    def test_aggregate_empty_raises(self):
+        with pytest.raises(MonitoringError):
+            aggregate_records([])
+
+    def test_flat_dict_roundtrip_keys(self):
+        summary = aggregate_records([_record(), _record(t=1.0)])
+        flat = summary.as_flat_dict()
+        assert len(flat) == 3 * len(METRIC_NAMES)
+        assert "execution_time_mean" in flat and "heap_used_cv" in flat
+
+    def test_unknown_metric_lookup_raises(self):
+        summary = aggregate_records([_record()])
+        with pytest.raises(MonitoringError):
+            summary.mean("not_a_metric")
+
+    def test_metric_aggregate_from_empty_raises(self):
+        with pytest.raises(MonitoringError):
+            MetricAggregate.from_samples("x", np.array([]))
+
+
+class TestStability:
+    def test_mann_whitney_same_distribution_high_p(self, rng):
+        a = rng.normal(0, 1, 300)
+        b = rng.normal(0, 1, 300)
+        assert mann_whitney_u(a, b) > 0.01
+
+    def test_mann_whitney_different_distribution_low_p(self, rng):
+        a = rng.normal(0, 1, 300)
+        b = rng.normal(3, 1, 300)
+        assert mann_whitney_u(a, b) < 0.001
+
+    def test_mann_whitney_identical_constants(self):
+        assert mann_whitney_u(np.ones(10), np.ones(20)) == 1.0
+
+    def test_cliffs_delta_range_and_sign(self, rng):
+        a = rng.normal(0, 1, 100)
+        assert cliffs_delta(a, a) == pytest.approx(0.0, abs=0.05)
+        assert cliffs_delta(a + 10, a) == pytest.approx(1.0)
+        assert cliffs_delta(a - 10, a) == pytest.approx(-1.0)
+
+    def test_interpret_cliffs_delta(self):
+        assert interpret_cliffs_delta(0.05) == "negligible"
+        assert interpret_cliffs_delta(0.2) == "small"
+        assert interpret_cliffs_delta(0.4) == "medium"
+        assert interpret_cliffs_delta(0.8) == "large"
+
+    def test_stability_analysis_converges_with_duration(self, rng):
+        # Build a drifting metric that stabilises after the first minutes.
+        records = []
+        for i in range(240):
+            t = i * 5.0
+            drift = 40.0 if t < 120 else 0.0
+            records.append(_record(t=t, execution_time=100.0 + drift + rng.normal(0, 3)))
+        analysis = StabilityAnalysis(durations_s=(60.0, 300.0, 900.0))
+        results = analysis.analyse({"f": records}, metrics=("execution_time",))
+        unstable = [result.total_unstable for result in results]
+        assert unstable[0] >= unstable[-1]
+        assert unstable[-1] == 0
+        assert analysis.recommended_duration_s() in (300.0, 900.0)
+
+    def test_stability_analysis_requires_functions(self):
+        with pytest.raises(MonitoringError):
+            StabilityAnalysis().analyse({})
+
+    def test_recommended_duration_requires_analysis(self):
+        with pytest.raises(MonitoringError):
+            StabilityAnalysis().recommended_duration_s()

@@ -1,0 +1,124 @@
+"""Unit tests for the resource scaling model and the pricing models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.pricing import (
+    AWS_LEGACY_PRICING,
+    AWS_PRICING,
+    PricingModel,
+    PricingScheme,
+)
+from repro.simulation.scaling import MEMORY_PER_VCPU_MB, ResourceScalingModel
+
+
+class TestResourceScalingModel:
+    def setup_method(self):
+        self.model = ResourceScalingModel()
+
+    def test_cpu_share_proportional_to_memory(self):
+        assert self.model.cpu_share(MEMORY_PER_VCPU_MB) == pytest.approx(1.0)
+        assert self.model.cpu_share(2 * MEMORY_PER_VCPU_MB) == pytest.approx(2.0)
+
+    def test_cpu_share_monotonic(self):
+        sizes = [128, 256, 512, 1024, 2048, 3008]
+        shares = [self.model.cpu_share(size) for size in sizes]
+        assert shares == sorted(shares)
+
+    def test_cpu_share_floor(self):
+        assert self.model.cpu_share(1) == pytest.approx(self.model.min_share_floor)
+
+    def test_cpu_share_cap(self):
+        assert self.model.cpu_share(100_000) == pytest.approx(self.model.max_vcpus)
+
+    def test_network_bandwidth_saturates(self):
+        assert self.model.network_bandwidth_mbps(3008) == pytest.approx(
+            self.model.network_bandwidth_mbps(100_000)
+        )
+
+    def test_network_transfer_scales_down_with_memory(self):
+        slow = self.model.network_transfer_ms(1_000_000, 128)
+        fast = self.model.network_transfer_ms(1_000_000, 1769)
+        assert slow > fast
+
+    def test_zero_bytes_zero_time(self):
+        assert self.model.network_transfer_ms(0, 256) == 0.0
+        assert self.model.fs_transfer_ms(0, 256) == 0.0
+
+    def test_memory_pressure_none_when_fitting(self):
+        assert self.model.memory_pressure_factor(20.0, 1024) == 1.0
+
+    def test_memory_pressure_grows_near_limit(self):
+        factor_small = self.model.memory_pressure_factor(100.0, 128)
+        factor_large = self.model.memory_pressure_factor(100.0, 1024)
+        assert factor_small > factor_large
+        assert factor_small > 1.0
+
+    def test_memory_pressure_bounded(self):
+        assert self.model.memory_pressure_factor(10_000.0, 128) <= 1.0 + 2.5 * 0.6 + 1e-9
+
+    def test_invalid_memory_raises(self):
+        with pytest.raises(ConfigurationError):
+            self.model.cpu_share(0)
+        with pytest.raises(ConfigurationError):
+            self.model.network_transfer_ms(-1, 256)
+
+    def test_invalid_configuration_raises(self):
+        with pytest.raises(ConfigurationError):
+            ResourceScalingModel(memory_per_vcpu_mb=0)
+        with pytest.raises(ConfigurationError):
+            ResourceScalingModel(min_share_floor=0.0)
+
+
+class TestPricing:
+    def test_paper_example(self):
+        """Paper Section 2: 3 s at 512 MB costs 0.0000252 USD on AWS."""
+        model = PricingModel(AWS_PRICING)
+        assert model.execution_cost(3000.0, 512) == pytest.approx(0.0000252, rel=1e-3)
+
+    def test_cost_increases_with_memory_for_fixed_time(self):
+        model = PricingModel()
+        assert model.execution_cost(100.0, 3008) > model.execution_cost(100.0, 128)
+
+    def test_cost_in_cents(self):
+        model = PricingModel()
+        assert model.execution_cost_cents(3000.0, 512) == pytest.approx(0.00252, rel=1e-3)
+
+    def test_billing_granularity_rounds_up(self):
+        legacy = PricingModel(AWS_LEGACY_PRICING)
+        assert legacy.billed_duration_ms(101.0) == 200.0
+        assert legacy.billed_duration_ms(100.0) == 100.0
+
+    def test_minimum_billed_duration(self):
+        model = PricingModel()
+        assert model.billed_duration_ms(0.2) >= AWS_PRICING.minimum_billed_ms
+
+    def test_monthly_cost(self):
+        model = PricingModel()
+        per_execution = model.execution_cost(100.0, 256)
+        assert model.monthly_cost(100.0, 256, 1_000_000) == pytest.approx(per_execution * 1e6)
+
+    def test_for_provider(self):
+        assert PricingModel.for_provider("gcloud").scheme.name == "gcloud"
+        assert PricingModel.for_provider("azure").scheme.name == "azure"
+        with pytest.raises(ConfigurationError):
+            PricingModel.for_provider("oracle")
+
+    def test_invalid_scheme_raises(self):
+        with pytest.raises(ConfigurationError):
+            PricingScheme(price_per_gb_second=0.0)
+        with pytest.raises(ConfigurationError):
+            PricingScheme(billing_granularity_ms=0.0)
+
+    def test_negative_time_raises(self):
+        with pytest.raises(ConfigurationError):
+            PricingModel().execution_cost(-1.0, 128)
+
+    def test_faster_execution_can_offset_higher_memory_price(self):
+        """A CPU-bound function can get cheaper at a larger size (paper Figure 1)."""
+        model = PricingModel()
+        cost_small = model.execution_cost(10_000.0, 128)   # slow at 128 MB
+        cost_large = model.execution_cost(1_000.0, 1024)   # 10x faster at 8x memory
+        assert cost_large < cost_small

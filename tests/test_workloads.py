@@ -1,0 +1,234 @@
+"""Unit tests for segments, the function generator, applications and load generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.workloads.applications import all_case_studies
+from repro.workloads.function import FunctionSpec
+from repro.workloads.generator import GeneratorConfig, SyntheticFunctionGenerator
+from repro.workloads.loadgen import LoadGenerator, Workload
+from repro.workloads.segments import SegmentCategory, default_segments, get_segment
+
+
+class TestSegments:
+    def test_sixteen_segments(self):
+        assert len(default_segments()) == 16
+
+    def test_unique_names(self):
+        names = [segment.name for segment in default_segments()]
+        assert len(names) == len(set(names))
+
+    def test_all_categories_covered(self):
+        categories = {segment.category for segment in default_segments()}
+        assert categories == set(SegmentCategory)
+
+    def test_get_segment(self):
+        assert get_segment("prime_numbers").category is SegmentCategory.CPU
+        with pytest.raises(WorkloadError):
+            get_segment("not-a-segment")
+
+    def test_instantiate_scales_cpu_linearly(self):
+        segment = get_segment("prime_numbers")
+        base = segment.instantiate(1.0)
+        double = segment.instantiate(2.0)
+        assert double.cpu_user_ms == pytest.approx(2 * base.cpu_user_ms)
+
+    def test_instantiate_scales_memory_sublinearly(self):
+        segment = get_segment("matrix_inversion")
+        base = segment.instantiate(1.0)
+        double = segment.instantiate(2.0)
+        assert base.memory_working_set_mb < double.memory_working_set_mb
+        assert double.memory_working_set_mb < 2 * base.memory_working_set_mb
+
+    def test_instantiate_scales_service_calls(self):
+        segment = get_segment("dynamodb_read")
+        scaled = segment.instantiate(2.0)
+        assert scaled.total_service_calls >= segment.profile.total_service_calls
+
+    def test_instantiate_invalid_intensity(self):
+        with pytest.raises(WorkloadError):
+            get_segment("file_read").instantiate(0.0)
+
+    def test_sample_within_range(self, rng):
+        segment = get_segment("image_resize")
+        for _ in range(20):
+            intensity, _profile = segment.sample(rng)
+            assert segment.min_intensity <= intensity <= segment.max_intensity
+
+
+class TestFunctionSpec:
+    def test_requires_name(self, cpu_profile):
+        with pytest.raises(WorkloadError):
+            FunctionSpec(name="", profile=cpu_profile)
+
+    def test_structure_hash_stable(self, cpu_profile):
+        spec_a = FunctionSpec("f", cpu_profile, (("prime_numbers", 1.0),))
+        spec_b = FunctionSpec("g", cpu_profile, (("prime_numbers", 1.0),))
+        assert spec_a.structure_hash() == spec_b.structure_hash()
+
+    def test_structure_hash_differs_for_different_segments(self, cpu_profile):
+        spec_a = FunctionSpec("f", cpu_profile, (("prime_numbers", 1.0),))
+        spec_b = FunctionSpec("f", cpu_profile, (("prime_numbers", 1.5),))
+        assert spec_a.structure_hash() != spec_b.structure_hash()
+
+    def test_describe(self, cpu_profile):
+        spec = FunctionSpec("f", cpu_profile, (("file_read", 1.0),), application="demo")
+        description = spec.describe()
+        assert description["name"] == "f" and description["application"] == "demo"
+
+
+class TestGenerator:
+    def test_generates_requested_count(self):
+        generator = SyntheticFunctionGenerator(config=GeneratorConfig(seed=1))
+        functions = generator.generate(25)
+        assert len(functions) == 25
+        assert generator.generated_count == 25
+
+    def test_names_unique(self):
+        functions = SyntheticFunctionGenerator(config=GeneratorConfig(seed=2)).generate(30)
+        names = [function.name for function in functions]
+        assert len(set(names)) == 30
+
+    def test_compositions_unique(self):
+        functions = SyntheticFunctionGenerator(config=GeneratorConfig(seed=3)).generate(50)
+        hashes = [function.structure_hash() for function in functions]
+        assert len(set(hashes)) == 50
+
+    def test_segment_count_in_range(self):
+        config = GeneratorConfig(min_segments=2, max_segments=4, seed=4)
+        functions = SyntheticFunctionGenerator(config=config).generate(30)
+        for function in functions:
+            assert 2 <= len(function.segments) <= 4
+
+    def test_deterministic_for_seed(self):
+        a = SyntheticFunctionGenerator(config=GeneratorConfig(seed=9)).generate(10)
+        b = SyntheticFunctionGenerator(config=GeneratorConfig(seed=9)).generate(10)
+        assert [f.segments for f in a] == [f.segments for f in b]
+
+    def test_diverse_resource_mixes(self):
+        functions = SyntheticFunctionGenerator(config=GeneratorConfig(seed=5)).generate(60)
+        cpu_heavy = sum(1 for f in functions if f.profile.cpu_user_ms > 200)
+        service_heavy = sum(1 for f in functions if f.profile.total_service_calls > 0)
+        assert cpu_heavy > 5 and service_heavy > 5
+
+    def test_category_histogram(self):
+        generator = SyntheticFunctionGenerator(config=GeneratorConfig(seed=6))
+        functions = generator.generate(40)
+        histogram = generator.category_histogram(functions)
+        assert sum(histogram.values()) == sum(len(f.segments) for f in functions)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(min_segments=0)
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(min_segments=3, max_segments=2)
+
+    def test_exhaustion_raises(self):
+        # One segment, fixed intensity range collapses quickly with rounding.
+        segment = get_segment("sns_publish")
+        generator = SyntheticFunctionGenerator(
+            segments=[segment],
+            config=GeneratorConfig(min_segments=1, max_segments=1, seed=0, max_attempts_per_function=3),
+        )
+        with pytest.raises(WorkloadError):
+            generator.generate(5000)
+
+
+class TestApplications:
+    def test_four_applications_27_functions(self):
+        applications = all_case_studies()
+        assert len(applications) == 4
+        assert sum(len(app.functions) for app in applications) == 27
+
+    def test_paper_function_counts(self):
+        counts = {app.name: len(app.functions) for app in all_case_studies()}
+        assert counts["Airline Booking"] == 8
+        assert counts["Facial Recognition"] == 5
+        assert counts["Event Processing"] == 7
+        assert counts["Hello Retail"] == 7
+
+    def test_function_names_unique_within_app(self):
+        for app in all_case_studies():
+            assert len(set(app.function_names)) == len(app.function_names)
+
+    def test_get_function(self):
+        app = all_case_studies()[0]
+        assert app.get_function("CreateCharge").name == "CreateCharge"
+        with pytest.raises(WorkloadError):
+            app.get_function("DoesNotExist")
+
+    def test_applications_use_services_not_in_segments(self):
+        """Rekognition / Aurora / Kinesis are not covered by the training segments."""
+        segment_services = set()
+        for segment in default_segments():
+            for call in segment.profile.service_calls:
+                segment_services.add(call.service)
+        case_services = set()
+        for app in all_case_studies():
+            for function in app.functions:
+                for call in function.profile.service_calls:
+                    case_services.add(call.service)
+        assert {"rekognition", "aurora", "kinesis"} <= case_services - segment_services
+
+    def test_workload_rates_follow_paper(self):
+        rates = {app.name: app.workload.requests_per_second for app in all_case_studies()}
+        assert rates["Airline Booking"] == 200.0
+        assert rates["Facial Recognition"] == 10.0
+
+    def test_measurement_age_follows_paper(self):
+        ages = {app.name: app.measured_months_after_training for app in all_case_studies()}
+        assert ages["Hello Retail"] == 9
+
+
+class TestLoadGenerator:
+    def test_exponential_arrivals_rate(self):
+        workload = Workload(requests_per_second=50.0, duration_s=60.0)
+        times = LoadGenerator(seed=1).arrival_times(workload)
+        assert len(times) == pytest.approx(3000, rel=0.15)
+        assert all(0 <= t < 60.0 for t in times)
+
+    def test_uniform_arrivals_evenly_spaced(self):
+        workload = Workload(requests_per_second=10.0, duration_s=10.0, arrival_process="uniform")
+        times = LoadGenerator(seed=1).arrival_times(workload)
+        gaps = np.diff(times)
+        assert np.allclose(gaps, 0.1)
+
+    def test_max_requests_subsamples_full_range(self):
+        workload = Workload(requests_per_second=100.0, duration_s=100.0)
+        times = LoadGenerator(seed=2).arrival_times(workload, max_requests=50)
+        assert len(times) == 50
+        assert times[-1] > 80.0  # still covers the end of the experiment
+
+    def test_sorted_output(self):
+        workload = Workload(requests_per_second=20.0, duration_s=30.0)
+        times = LoadGenerator(seed=3).arrival_times(workload)
+        assert times == sorted(times)
+
+    def test_split_warmup(self):
+        workload = Workload(requests_per_second=10.0, duration_s=20.0, warmup_s=5.0)
+        generator = LoadGenerator(seed=4)
+        times = generator.arrival_times(workload)
+        warmup, measured = generator.split_warmup(times, workload)
+        assert all(t < 5.0 for t in warmup)
+        assert all(t >= 5.0 for t in measured)
+        assert len(warmup) + len(measured) == len(times)
+
+    def test_workload_validation(self):
+        with pytest.raises(ConfigurationError):
+            Workload(requests_per_second=0.0)
+        with pytest.raises(ConfigurationError):
+            Workload(warmup_s=700.0, duration_s=600.0)
+        with pytest.raises(ConfigurationError):
+            Workload(arrival_process="bursty")
+
+    def test_workload_scaled(self):
+        workload = Workload(requests_per_second=30.0, duration_s=600.0, warmup_s=60.0)
+        scaled = workload.scaled(0.1)
+        assert scaled.duration_s == pytest.approx(60.0)
+        assert scaled.warmup_s <= scaled.duration_s * 0.5
+
+    def test_expected_requests(self):
+        assert Workload(requests_per_second=30.0, duration_s=600.0).expected_requests == 18000
