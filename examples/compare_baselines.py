@@ -34,7 +34,7 @@ def main() -> None:
 
     truth_harness = MeasurementHarness(
         platform=ServerlessPlatform(config=PlatformConfig(allowed_memory_sizes_mb=None, seed=77)),
-        config=HarnessConfig(max_invocations_per_size=25, seed=78),
+        config=HarnessConfig(max_invocations_per_size=25, seed=78, backend="vectorized"),
     )
 
     baselines = {

@@ -33,7 +33,8 @@ def main() -> None:
         config=PlatformConfig(allowed_memory_sizes_mb=None, seed=1234)
     )
     harness = MeasurementHarness(
-        platform=platform, config=HarnessConfig(max_invocations_per_size=25, seed=5)
+        platform=platform,
+        config=HarnessConfig(max_invocations_per_size=25, seed=5, backend="vectorized"),
     )
     pricing = PricingModel()
 

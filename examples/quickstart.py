@@ -25,11 +25,13 @@ def main() -> None:
         invocations_per_size=20,
         base_memory_sizes_mb=(256,),
         seed=7,
+        backend="vectorized",  # numpy batch engine; try "parallel" or "serial"
     )
     pipeline = SizelessPipeline(config)
 
     print(f"Offline phase: measuring {config.n_training_functions} synthetic functions "
-          f"at {len(config.memory_sizes_mb)} memory sizes ...")
+          f"at {len(config.memory_sizes_mb)} memory sizes "
+          f"({config.backend} backend) ...")
     pipeline.run_offline_phase()
     print("Offline phase done - model trained.\n")
 

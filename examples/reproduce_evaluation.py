@@ -1,9 +1,11 @@
 """Regenerate every table and figure of the paper's evaluation.
 
 Thin wrapper around :mod:`repro.experiments.runner`.  Pass ``quick``,
-``standard`` (default) or ``paper`` to pick the experiment scale::
+``standard`` (default) or ``paper`` to pick the experiment scale, and
+optionally an execution backend (``serial``, ``vectorized``, ``parallel``)::
 
     python examples/reproduce_evaluation.py quick
+    python examples/reproduce_evaluation.py paper parallel
 """
 
 from __future__ import annotations

@@ -116,31 +116,43 @@ class MemorySizeOptimizer:
         minimum = min(execution_times_ms.values())
         return {int(size): time / minimum for size, time in execution_times_ms.items()}
 
-    def total_scores(
-        self, execution_times_ms: dict[int, float], tradeoff: float | None = None
+    def _resolve_tradeoff(self, tradeoff: float | None) -> float:
+        """The effective trade-off: the override if given, else the default."""
+        return self.tradeoff.tradeoff if tradeoff is None else TradeoffConfig(tradeoff).tradeoff
+
+    def _combine_scores(
+        self,
+        cost_scores: dict[int, float],
+        perf_scores: dict[int, float],
+        t: float,
     ) -> dict[int, float]:
-        """``S_total`` for every memory size under the given trade-off."""
-        t = self.tradeoff.tradeoff if tradeoff is None else TradeoffConfig(tradeoff).tradeoff
-        cost_scores = self.cost_scores(execution_times_ms)
-        perf_scores = self.performance_scores(execution_times_ms)
+        """The paper's ``S_total = t * S_cost + (1 - t) * S_perf``."""
         return {
             size: t * cost_scores[size] + (1.0 - t) * perf_scores[size]
             for size in cost_scores
         }
+
+    def total_scores(
+        self, execution_times_ms: dict[int, float], tradeoff: float | None = None
+    ) -> dict[int, float]:
+        """``S_total`` for every memory size under the given trade-off."""
+        t = self._resolve_tradeoff(tradeoff)
+        return self._combine_scores(
+            self.cost_scores(execution_times_ms),
+            self.performance_scores(execution_times_ms),
+            t,
+        )
 
     # ------------------------------------------------------------------ select
     def recommend(
         self, execution_times_ms: dict[int, float], tradeoff: float | None = None
     ) -> MemoryRecommendation:
         """Return the full recommendation (selected size, scores, ranking)."""
-        t = self.tradeoff.tradeoff if tradeoff is None else TradeoffConfig(tradeoff).tradeoff
+        t = self._resolve_tradeoff(tradeoff)
         costs = self.costs(execution_times_ms)
         cost_scores = self.cost_scores(execution_times_ms)
         perf_scores = self.performance_scores(execution_times_ms)
-        totals = {
-            size: t * cost_scores[size] + (1.0 - t) * perf_scores[size]
-            for size in cost_scores
-        }
+        totals = self._combine_scores(cost_scores, perf_scores, t)
         # Deterministic tie-break: smaller memory size wins on equal scores.
         ranking = tuple(sorted(totals, key=lambda size: (totals[size], size)))
         return MemoryRecommendation(

@@ -61,6 +61,12 @@ class PipelineConfig:
         Pricing provider name.
     seed:
         Master seed for dataset generation, platform noise and training.
+    backend:
+        Execution backend for all simulated measurements (offline dataset
+        generation and online monitoring): ``"serial"``, ``"vectorized"`` or
+        ``"parallel"``.
+    n_workers:
+        Worker count for the parallel backend (``None`` = CPU count).
     """
 
     n_training_functions: int = 200
@@ -73,6 +79,8 @@ class PipelineConfig:
     tradeoff: float = 0.75
     provider: str = "aws"
     seed: int = 42
+    backend: str = "vectorized"
+    n_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_training_functions < 5:
@@ -113,6 +121,8 @@ class SizelessPipeline:
             memory_sizes_mb=self.config.memory_sizes_mb,
             invocations_per_size=self.config.invocations_per_size,
             seed=self.config.seed,
+            backend=self.config.backend,
+            n_workers=self.config.n_workers,
         )
         generator = TrainingDatasetGenerator(generation_config)
         self.dataset = generator.generate(progress_callback=progress_callback)
@@ -173,6 +183,8 @@ class SizelessPipeline:
                 else Workload(requests_per_second=30.0, duration_s=600.0, warmup_s=30.0),
                 max_invocations_per_size=self.config.monitoring_invocations,
                 seed=self.config.seed + 2000,
+                backend=self.config.backend,
+                n_workers=self.config.n_workers,
             ),
         )
         measurement = harness.measure_function(function, memory_sizes_mb=(base_size,))

@@ -8,6 +8,15 @@ are supported but the default configuration caps the number of simulated
 invocations per size so that the full 2 000-function dataset can be generated
 in seconds; the cap preserves the arrival-process shape (see
 :meth:`repro.workloads.loadgen.LoadGenerator.arrival_times`).
+
+Invocation batches run through a pluggable execution backend
+(:mod:`repro.simulation.engine`): the default ``"serial"`` backend reproduces
+the original scalar path invocation for invocation, ``"vectorized"`` computes
+whole arrival batches in numpy, and ``"parallel"`` additionally fans whole
+functions out over worker processes.  Measurement windows are aggregated
+straight from the batch columns — no per-invocation metric dictionaries are
+materialized — and each function's records are discarded from the platform
+log once aggregated, so memory stays bounded during paper-scale runs.
 """
 
 from __future__ import annotations
@@ -15,9 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
-from repro.monitoring.aggregation import MonitoringSummary, aggregate_records
-from repro.monitoring.collector import ResourceConsumptionMonitor
+from repro.monitoring.aggregation import MonitoringSummary
 from repro.dataset.schema import FunctionMeasurement
+from repro.simulation.engine import ExecutionBackend, available_backends, get_backend
 from repro.simulation.platform import PlatformConfig, ServerlessPlatform
 from repro.workloads.function import FunctionSpec
 from repro.workloads.loadgen import LoadGenerator, Workload
@@ -41,6 +50,16 @@ class HarnessConfig:
         Drop cold-start invocations from the aggregation window.
     seed:
         Seed for the load generator.
+    backend:
+        Execution backend name (``"serial"``, ``"vectorized"``,
+        ``"parallel"``) used for invocation batches.
+    n_workers:
+        Worker-process count for the parallel backend (``None`` = CPU count;
+        ignored by the single-process backends).
+    stream_records:
+        Discard each function's per-invocation records from the platform log
+        once its measurement window has been aggregated, keeping memory
+        bounded during large generation runs (billing totals are preserved).
     """
 
     memory_sizes_mb: tuple[int, ...] = (128, 256, 512, 1024, 2048, 3008)
@@ -48,6 +67,9 @@ class HarnessConfig:
     max_invocations_per_size: int | None = 40
     exclude_cold_starts: bool = True
     seed: int = 0
+    backend: str = "serial"
+    n_workers: int | None = None
+    stream_records: bool = True
 
     def __post_init__(self) -> None:
         if not self.memory_sizes_mb:
@@ -56,6 +78,12 @@ class HarnessConfig:
             raise ConfigurationError("memory sizes must be positive")
         if self.max_invocations_per_size is not None and self.max_invocations_per_size < 2:
             raise ConfigurationError("max_invocations_per_size must be at least 2")
+        if self.backend not in available_backends():
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; available: {available_backends()}"
+            )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ConfigurationError("n_workers must be at least 1 when given")
 
 
 class MeasurementHarness:
@@ -74,6 +102,9 @@ class MeasurementHarness:
                 )
             )
         self.platform = platform
+        self.backend: ExecutionBackend = get_backend(
+            self.config.backend, n_workers=self.config.n_workers
+        )
         self._load_generator = LoadGenerator(seed=self.config.seed)
 
     def measure_function(
@@ -97,6 +128,8 @@ class MeasurementHarness:
         for memory_mb in memory_sizes:
             summary = self._measure_at_size(function, int(memory_mb), load)
             measurement.add_summary(int(memory_mb), summary)
+        if self.config.stream_records:
+            self.platform.discard_function_records(function.name)
         return measurement
 
     def measure_many(
@@ -104,31 +137,35 @@ class MeasurementHarness:
         functions: list[FunctionSpec],
         memory_sizes_mb: tuple[int, ...] | None = None,
         workload: Workload | None = None,
+        progress_callback=None,
     ) -> list[FunctionMeasurement]:
-        """Measure a list of functions (sequentially, like interleaved trials)."""
-        return [
-            self.measure_function(function, memory_sizes_mb=memory_sizes_mb, workload=workload)
-            for function in functions
-        ]
+        """Measure a list of functions through the configured backend.
+
+        The serial and vectorized backends measure sequentially (like the
+        paper's interleaved trials); the parallel backend fans whole functions
+        out over worker processes.  ``progress_callback(done, total, name)``
+        is invoked after each completed function.
+        """
+        return self.backend.measure_functions(
+            self,
+            functions,
+            memory_sizes_mb=memory_sizes_mb,
+            workload=workload,
+            progress_callback=progress_callback,
+        )
 
     # ------------------------------------------------------------------ internal
     def _measure_at_size(
         self, function: FunctionSpec, memory_mb: int, workload: Workload
     ) -> MonitoringSummary:
-        monitor = ResourceConsumptionMonitor()
         self.platform.deploy(function.name, function.profile, memory_mb)
         arrivals = self._load_generator.arrival_times(
             workload, max_requests=self.config.max_invocations_per_size
         )
         if not arrivals:
             arrivals = [workload.warmup_s + 0.001]
-        records = self.platform.invoke_many(function.name, arrivals)
-        measured = [r for r in records if r.timestamp_s >= workload.warmup_s]
-        if not measured:
-            measured = records
-        monitor.observe_all(measured)
-        summary = aggregate_records(
-            monitor.for_function(function.name, memory_mb=float(memory_mb)),
+        batch = self.platform.invoke_batch(function.name, arrivals, backend=self.backend)
+        return batch.aggregate(
+            warmup_s=workload.warmup_s,
             exclude_cold_starts=self.config.exclude_cold_starts,
         )
-        return summary

@@ -51,6 +51,8 @@ class ExperimentScale:
     network: NetworkConfig = field(default_factory=default_network_config)
     feature_names: tuple[str, ...] = DEFAULT_FEATURE_SET
     seed: int = 42
+    backend: str = "vectorized"
+    n_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_training_functions < 5:
@@ -89,6 +91,7 @@ class ExperimentScale:
             train_invocations_per_size=120,
             case_invocations_per_size=120,
             case_repetitions=10,
+            backend="parallel",
         )
 
 
@@ -113,6 +116,8 @@ class ExperimentContext:
                     memory_sizes_mb=self.scale.memory_sizes_mb,
                     invocations_per_size=self.scale.train_invocations_per_size,
                     seed=self.scale.seed,
+                    backend=self.scale.backend,
+                    n_workers=self.scale.n_workers,
                 )
             )
             self._dataset = generator.generate()
@@ -174,6 +179,8 @@ class ExperimentContext:
                             memory_sizes_mb=self.scale.memory_sizes_mb,
                             max_invocations_per_size=self.scale.case_invocations_per_size,
                             seed=seed + 1,
+                            backend=self.scale.backend,
+                            n_workers=self.scale.n_workers,
                         ),
                     )
                     repetitions.append(

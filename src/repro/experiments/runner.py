@@ -1,13 +1,17 @@
 """Run all evaluation experiments and print their tables.
 
-``python -m repro.experiments.runner [quick|standard|paper]`` regenerates every
-table and figure of the paper's evaluation (as text tables) and is also used
-by ``examples/reproduce_evaluation.py``.
+``python -m repro.experiments.runner [quick|standard|paper] [backend]``
+regenerates every table and figure of the paper's evaluation (as text tables)
+and is also used by ``examples/reproduce_evaluation.py``.  The optional second
+argument selects the simulation execution backend (``serial``, ``vectorized``
+or ``parallel``); each scale has a sensible default (``vectorized``, and
+``parallel`` at paper scale).
 """
 
 from __future__ import annotations
 
 import sys
+from dataclasses import replace
 from typing import Any
 
 from repro.experiments import (
@@ -166,7 +170,9 @@ def print_report(results: dict[str, Any]) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point: ``python -m repro.experiments.runner [scale]``."""
+    """CLI entry point: ``python -m repro.experiments.runner [scale] [backend]``."""
+    from repro.simulation.engine import available_backends
+
     argv = argv if argv is not None else sys.argv[1:]
     scale_name = argv[0] if argv else "standard"
     scales = {
@@ -177,7 +183,14 @@ def main(argv: list[str] | None = None) -> int:
     if scale_name not in scales:
         print(f"unknown scale {scale_name!r}; expected one of {sorted(scales)}")
         return 2
-    results = run_all(scales[scale_name](), include_slow=scale_name != "quick")
+    scale = scales[scale_name]()
+    if len(argv) > 1:
+        backend = argv[1]
+        if backend not in available_backends():
+            print(f"unknown backend {backend!r}; expected one of {available_backends()}")
+            return 2
+        scale = replace(scale, backend=backend)
+    results = run_all(scale, include_slow=scale_name != "quick")
     print_report(results)
     return 0
 

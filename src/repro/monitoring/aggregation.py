@@ -119,3 +119,61 @@ def aggregate_records(
         aggregates=aggregates,
         n_invocations=len(usable),
     )
+
+
+def aggregate_arrays(
+    function_name: str,
+    memory_mb: float,
+    metrics: dict[str, np.ndarray],
+    cold_start: np.ndarray | None = None,
+    exclude_cold_starts: bool = True,
+    window: np.ndarray | None = None,
+) -> MonitoringSummary:
+    """Aggregate columnar per-invocation metrics into a summary.
+
+    The batch-execution counterpart of :func:`aggregate_records`: instead of a
+    list of per-invocation records it consumes one sample array per metric
+    (plus optional cold-start and measurement-window masks), so large
+    measurement windows never materialize per-invocation dictionaries.  All
+    metric columns are reduced in one matrix pass.  Semantics match the
+    record path exactly: an empty ``window`` falls back to the full batch,
+    and an all-cold window falls back to including the cold starts.
+    """
+    missing = set(METRIC_NAMES) - set(metrics)
+    if missing:
+        raise MonitoringError(f"missing metrics: {sorted(missing)}")
+    matrix = np.stack([np.asarray(metrics[metric], dtype=float) for metric in METRIC_NAMES])
+    if matrix.shape[1] == 0:
+        raise MonitoringError("cannot aggregate an empty metric batch")
+
+    n = matrix.shape[1]
+    keep = np.ones(n, dtype=bool) if window is None else np.asarray(window, dtype=bool)
+    if not np.any(keep):
+        keep = np.ones(n, dtype=bool)
+    if exclude_cold_starts and cold_start is not None:
+        warm = keep & ~np.asarray(cold_start, dtype=bool)
+        if np.any(warm):
+            keep = warm
+    matrix = matrix[:, keep]
+
+    means = matrix.mean(axis=1)
+    stds = matrix.std(axis=1)
+    safe = np.abs(means) > 1e-12
+    cvs = np.divide(stds, means, out=np.zeros_like(stds), where=safe)
+    n_invocations = int(matrix.shape[1])
+    aggregates = {
+        metric: MetricAggregate(
+            name=metric,
+            mean=float(means[i]),
+            std=float(stds[i]),
+            cv=float(cvs[i]),
+            n_samples=n_invocations,
+        )
+        for i, metric in enumerate(METRIC_NAMES)
+    }
+    return MonitoringSummary(
+        function_name=function_name,
+        memory_mb=float(memory_mb),
+        aggregates=aggregates,
+        n_invocations=n_invocations,
+    )

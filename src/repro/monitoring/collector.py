@@ -75,6 +75,27 @@ class ResourceConsumptionMonitor:
         """Convert and store a batch of platform invocation records."""
         return [self.observe(record) for record in records]
 
+    def observe_batch(self, batch) -> list[MonitoringRecord]:
+        """Convert a columnar :class:`~repro.simulation.engine.BatchResult`.
+
+        Materializes one :class:`MonitoringRecord` per invocation, so this is
+        the compatibility path for analyses that genuinely need per-invocation
+        series (e.g. the stability experiment); aggregate-only consumers
+        should use :meth:`BatchResult.aggregate` instead.
+        """
+        records = [
+            MonitoringRecord(
+                function_name=batch.function_name,
+                memory_mb=float(batch.memory_mb),
+                timestamp_s=float(batch.timestamps_s[i]),
+                metrics={name: float(values[i]) for name, values in batch.metrics.items()},
+                cold_start=bool(batch.cold_start[i]),
+            )
+            for i in range(batch.n_invocations)
+        ]
+        self.records.extend(records)
+        return records
+
     def add(self, record: MonitoringRecord) -> None:
         """Add an already-built monitoring record."""
         self.records.append(record)

@@ -23,7 +23,7 @@ The entry points are :class:`~repro.simulation.platform.ServerlessPlatform`
 """
 
 from repro.simulation.coldstart import ColdStartModel
-from repro.simulation.execution import ExecutionResult, simulate_execution
+from repro.simulation.execution import BatchExecution, ExecutionResult, simulate_execution
 from repro.simulation.platform import (
     DeployedFunction,
     InvocationRecord,
@@ -36,6 +36,18 @@ from repro.simulation.scaling import ResourceScalingModel
 from repro.simulation.services import ServiceCatalog, ServiceModel
 from repro.simulation.variability import VariabilityModel
 
+# The engine imports must stay below the platform import: backends consume the
+# platform module, which only reaches back into the engine lazily.
+from repro.simulation.engine import (
+    BatchResult,
+    ExecutionBackend,
+    ParallelBackend,
+    SerialBackend,
+    VectorizedBackend,
+    available_backends,
+    get_backend,
+)
+
 __all__ = [
     "ResourceProfile",
     "ServiceCall",
@@ -47,9 +59,17 @@ __all__ = [
     "ServiceModel",
     "ServiceCatalog",
     "ExecutionResult",
+    "BatchExecution",
     "simulate_execution",
     "ServerlessPlatform",
     "PlatformConfig",
     "DeployedFunction",
     "InvocationRecord",
+    "BatchResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "VectorizedBackend",
+    "ParallelBackend",
+    "available_backends",
+    "get_backend",
 ]

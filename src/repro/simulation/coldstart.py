@@ -76,6 +76,17 @@ class ColdStartModel:
             duration *= float(rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
         return float(duration)
 
+    def noise_factors(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Batch of unit-mean multiplicative noise factors for ``n`` cold starts.
+
+        The batch counterpart of the noise applied inside :meth:`duration_ms`,
+        kept here so the cold-start noise shape is owned by one class.
+        """
+        if self.noise_cv <= 0:
+            return np.ones(n)
+        sigma = float(np.sqrt(np.log(1.0 + self.noise_cv**2)))
+        return rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma, size=n)
+
     def is_expired(self, idle_time_s: float) -> bool:
         """Whether a warm instance idle for ``idle_time_s`` has been reclaimed."""
         if idle_time_s < 0:

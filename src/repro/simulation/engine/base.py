@@ -1,0 +1,260 @@
+"""Execution-backend abstraction: batch invocation containers and registry.
+
+The measurement path of the paper runs 2 000 functions x 6 memory sizes x
+18 000 invocations (~216 M simulated invocations).  Driving that through the
+scalar :meth:`~repro.simulation.platform.ServerlessPlatform.invoke` call is
+infeasible, so the platform delegates batch execution to a pluggable
+:class:`ExecutionBackend`:
+
+- :class:`~repro.simulation.engine.serial.SerialBackend` — the original scalar
+  path, kept as the reference implementation for white-box parity tests;
+- :class:`~repro.simulation.engine.vectorized.VectorizedBackend` — computes a
+  whole arrival batch in numpy, one noise draw batch per (function, size);
+- :class:`~repro.simulation.engine.parallel.ParallelBackend` — fans whole
+  functions out over ``concurrent.futures`` workers, each running the
+  vectorized backend.
+
+Backends are selected by name (a declarative config concern: harness, dataset
+generator and pipeline all expose a ``backend=`` knob) through
+:func:`get_backend`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.monitoring.aggregation import MonitoringSummary
+    from repro.simulation.platform import InvocationRecord, ServerlessPlatform
+    from repro.workloads.function import FunctionSpec
+    from repro.workloads.loadgen import Workload
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Columnar result of one invocation batch (one function, one size).
+
+    Where the scalar path produces one
+    :class:`~repro.simulation.platform.InvocationRecord` per invocation, a
+    batch result keeps one numpy column per attribute, so a measurement window
+    can be aggregated without ever materializing per-invocation dictionaries.
+
+    Attributes
+    ----------
+    function_name / memory_mb:
+        The (function, size) pair the batch was executed for.
+    timestamps_s:
+        Sorted virtual arrival times.
+    execution_time_ms:
+        Inner handler execution time per invocation (excludes cold starts).
+    init_duration_ms:
+        Cold-start duration per invocation (0 for warm invocations).
+    cold_start:
+        Boolean mask of cold-started invocations.
+    instance_ids:
+        Worker instance that served each invocation.
+    cost_usd / billed_duration_ms:
+        Billing columns under the platform's pricing model.
+    metrics:
+        One ``(n,)`` array per Table-1 metric name.
+    """
+
+    function_name: str
+    memory_mb: float
+    timestamps_s: np.ndarray
+    execution_time_ms: np.ndarray
+    init_duration_ms: np.ndarray
+    cold_start: np.ndarray
+    instance_ids: np.ndarray
+    cost_usd: np.ndarray
+    billed_duration_ms: np.ndarray
+    metrics: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def n_invocations(self) -> int:
+        """Number of invocations in the batch."""
+        return int(self.timestamps_s.shape[0])
+
+    @property
+    def n_cold_starts(self) -> int:
+        """Number of cold-started invocations."""
+        return int(np.count_nonzero(self.cold_start))
+
+    @property
+    def total_cost_usd(self) -> float:
+        """Total billed cost of the batch."""
+        return float(np.sum(self.cost_usd))
+
+    def aggregate(
+        self, warmup_s: float = 0.0, exclude_cold_starts: bool = True
+    ) -> "MonitoringSummary":
+        """Aggregate the batch into a :class:`MonitoringSummary`.
+
+        Invocations arriving before ``warmup_s`` are discarded (falling back
+        to the full batch when everything arrived during warm-up), matching
+        the scalar harness path record for record.
+        """
+        from repro.monitoring.aggregation import aggregate_arrays
+
+        if self.n_invocations == 0:
+            raise SimulationError("cannot aggregate an empty batch")
+        return aggregate_arrays(
+            function_name=self.function_name,
+            memory_mb=self.memory_mb,
+            metrics=self.metrics,
+            cold_start=self.cold_start,
+            exclude_cold_starts=exclude_cold_starts,
+            window=self.timestamps_s >= warmup_s,
+        )
+
+    def to_records(self) -> list["InvocationRecord"]:
+        """Materialize scalar :class:`InvocationRecord` objects (compat path).
+
+        Expensive for large batches — intended for debugging and for callers
+        that still need per-invocation record objects.
+        """
+        from repro.simulation.execution import ExecutionResult
+        from repro.simulation.platform import InvocationRecord
+
+        records = []
+        for i in range(self.n_invocations):
+            result = ExecutionResult(
+                execution_time_ms=float(self.execution_time_ms[i]),
+                memory_mb=float(self.memory_mb),
+                metrics={name: float(values[i]) for name, values in self.metrics.items()},
+                breakdown=None,
+                cold_start=bool(self.cold_start[i]),
+                init_duration_ms=float(self.init_duration_ms[i]),
+            )
+            records.append(
+                InvocationRecord(
+                    function_name=self.function_name,
+                    memory_mb=float(self.memory_mb),
+                    timestamp_s=float(self.timestamps_s[i]),
+                    result=result,
+                    cost_usd=float(self.cost_usd[i]),
+                    billed_duration_ms=float(self.billed_duration_ms[i]),
+                    instance_id=int(self.instance_ids[i]),
+                )
+            )
+        return records
+
+    @staticmethod
+    def from_records(
+        function_name: str, memory_mb: float, records: list["InvocationRecord"]
+    ) -> "BatchResult":
+        """Columnarize a list of scalar invocation records."""
+        from repro.monitoring.metrics import METRIC_NAMES
+
+        return BatchResult(
+            function_name=function_name,
+            memory_mb=float(memory_mb),
+            timestamps_s=np.array([r.timestamp_s for r in records], dtype=float),
+            execution_time_ms=np.array(
+                [r.result.execution_time_ms for r in records], dtype=float
+            ),
+            init_duration_ms=np.array(
+                [r.result.init_duration_ms for r in records], dtype=float
+            ),
+            cold_start=np.array([r.result.cold_start for r in records], dtype=bool),
+            instance_ids=np.array([r.instance_id for r in records], dtype=int),
+            cost_usd=np.array([r.cost_usd for r in records], dtype=float),
+            billed_duration_ms=np.array(
+                [r.billed_duration_ms for r in records], dtype=float
+            ),
+            metrics={
+                name: np.array([r.result.metrics[name] for r in records], dtype=float)
+                for name in METRIC_NAMES
+            },
+        )
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy interface for executing invocation batches.
+
+    Backends implement :meth:`run_batch` — execute one (function, size)
+    arrival batch against a platform — and may override
+    :meth:`measure_functions` to change how a harness schedules whole
+    functions (the parallel backend fans them out over worker processes).
+    """
+
+    #: Registry name of the backend (used by the ``backend=`` config knobs).
+    name: str = "abstract"
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ConfigurationError("n_workers must be at least 1 when given")
+        self.n_workers = n_workers
+
+    @abc.abstractmethod
+    def run_batch(
+        self, platform: "ServerlessPlatform", function_name: str, arrivals: np.ndarray
+    ) -> BatchResult:
+        """Execute one sorted arrival batch of a deployed function."""
+
+    def measure_functions(
+        self,
+        harness,
+        functions: list["FunctionSpec"],
+        memory_sizes_mb: tuple[int, ...] | None = None,
+        workload: "Workload | None" = None,
+        progress_callback: Callable[[int, int, str], None] | None = None,
+    ):
+        """Measure a list of functions through a harness (sequential default)."""
+        measurements = []
+        for index, function in enumerate(functions):
+            measurements.append(
+                harness.measure_function(
+                    function, memory_sizes_mb=memory_sizes_mb, workload=workload
+                )
+            )
+            if progress_callback is not None:
+                progress_callback(index + 1, len(functions), function.name)
+        return measurements
+
+
+_BACKENDS: dict[str, type[ExecutionBackend]] = {}
+
+
+def register_backend(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
+    """Register a backend class under its ``name`` (usable as a decorator)."""
+    if not cls.name or cls.name == "abstract":
+        raise ConfigurationError("backend classes must define a concrete name")
+    _BACKENDS[cls.name] = cls
+    return cls
+
+
+def available_backends() -> list[str]:
+    """Sorted names of all registered execution backends."""
+    return sorted(_BACKENDS)
+
+
+def get_backend(
+    backend: str | ExecutionBackend, n_workers: int | None = None
+) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    Parameters
+    ----------
+    backend:
+        Registered backend name (``"serial"``, ``"vectorized"``,
+        ``"parallel"``) or an already-constructed backend instance.
+    n_workers:
+        Worker count forwarded to backends that parallelize (ignored by the
+        single-threaded ones).
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        cls = _BACKENDS[str(backend).lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown execution backend {backend!r}; available: {available_backends()}"
+        ) from None
+    return cls(n_workers=n_workers)

@@ -1,0 +1,173 @@
+"""Process-parallel execution backend.
+
+Per-batch execution is delegated to the vectorized backend; the parallelism
+operates one level up, where a harness measures many functions: whole
+functions (all memory sizes) are fanned out over ``concurrent.futures``
+worker processes.  Every worker builds its own platform with a seed derived
+deterministically from the parent platform's seed and the function index, so
+results are reproducible regardless of worker count or scheduling order —
+statistically equivalent to the serial schedule, which threads one shared
+random stream through all functions.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+
+import numpy as np
+
+from repro.simulation.engine.base import ExecutionBackend, register_backend
+from repro.simulation.engine.vectorized import VectorizedBackend
+
+#: Seed stride between per-function worker platforms.
+_SEED_STRIDE = 10_007
+
+
+def _measure_function_task(payload):
+    """Measure one function on a fresh platform (runs in a worker process).
+
+    Returns the measurement together with the function's billed cost so the
+    parent can fold worker billing into its own platform totals.
+    """
+    (
+        function,
+        harness_config,
+        platform_config,
+        execution_model,
+        cold_start_model,
+        pricing_model,
+        memory_sizes_mb,
+        workload,
+    ) = payload
+    # Imported lazily: the engine package must stay importable without the
+    # dataset layer (which itself imports the engine).
+    from repro.dataset.harness import MeasurementHarness
+    from repro.simulation.platform import ServerlessPlatform
+
+    platform = ServerlessPlatform(
+        config=platform_config,
+        execution_model=execution_model,
+        cold_start_model=cold_start_model,
+        pricing_model=pricing_model,
+    )
+    harness = MeasurementHarness(platform=platform, config=harness_config)
+    measurement = harness.measure_function(
+        function, memory_sizes_mb=memory_sizes_mb, workload=workload
+    )
+    return measurement, platform.total_cost_usd(function.name)
+
+
+@register_backend
+class ParallelBackend(ExecutionBackend):
+    """Fans whole functions out over worker processes (vectorized per batch)."""
+
+    name = "parallel"
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        super().__init__(n_workers)
+        self._vectorized = VectorizedBackend()
+
+    def run_batch(self, platform, function_name: str, arrivals: np.ndarray):
+        """A single batch has no function-level parallelism; run it vectorized."""
+        return self._vectorized.run_batch(platform, function_name, arrivals)
+
+    def measure_functions(
+        self,
+        harness,
+        functions,
+        memory_sizes_mb=None,
+        workload=None,
+        progress_callback=None,
+    ):
+        """Measure every function on its own derived-seed platform.
+
+        All platform state (deployments, warm instances, retained records)
+        lives in the per-function worker platforms and is discarded with
+        them; only measurements and billing totals flow back to the parent,
+        so ``stream_records=False`` has no effect here and post-measurement
+        platform queries on the parent see no deployments.  Because of the
+        per-function seeding, ``measure_many([f])[0]`` is reproducible across
+        worker counts but differs from ``measure_function(f)``, which runs on
+        the parent platform's shared random stream.
+        """
+        if not functions:
+            return []
+        platform = harness.platform
+        payloads = [
+            (
+                function,
+                # The harness seed drives the load generator: vary it per
+                # function (like the platform seed) so workers do not all
+                # replay one arrival trace.
+                replace(
+                    harness.config,
+                    backend="vectorized",
+                    n_workers=None,
+                    seed=harness.config.seed + _SEED_STRIDE * (index + 1),
+                ),
+                replace(
+                    platform.config,
+                    seed=platform.config.seed + _SEED_STRIDE * (index + 1),
+                ),
+                platform.execution_model,
+                platform.cold_start_model,
+                platform.pricing_model,
+                memory_sizes_mb,
+                workload,
+            )
+            for index, function in enumerate(functions)
+        ]
+        max_workers = self.n_workers or min(len(functions), os.cpu_count() or 1)
+        results: list = [None] * len(functions)
+        done = 0
+
+        def finish_sequentially():
+            # Runs the same per-function-seeded tasks in-process, so results
+            # are identical whether a function was measured by a pool worker,
+            # a single-worker schedule, or this fallback.
+            nonlocal done
+            for index, payload in enumerate(payloads):
+                if results[index] is not None:
+                    continue
+                measurement, cost_usd = _measure_function_task(payload)
+                results[index] = measurement
+                platform._note_cost(functions[index].name, cost_usd)
+                done += 1
+                if progress_callback is not None:
+                    progress_callback(done, len(functions), functions[index].name)
+
+        if len(functions) == 1 or max_workers == 1:
+            finish_sequentially()
+            return results
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as executor:
+                futures = {
+                    executor.submit(_measure_function_task, payload): index
+                    for index, payload in enumerate(payloads)
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    measurement, cost_usd = future.result()
+                    results[index] = measurement
+                    platform._note_cost(functions[index].name, cost_usd)
+                    done += 1
+                    if progress_callback is not None:
+                        progress_callback(done, len(functions), functions[index].name)
+        except BrokenProcessPool:
+            # Worker processes unavailable (restricted environments kill the
+            # pool at spawn time): finish the remaining functions in-process,
+            # keeping measurements and billing already collected.  Task-level
+            # exceptions propagate instead.
+            warnings.warn(
+                "parallel backend: worker pool broke, finishing "
+                f"{sum(r is None for r in results)} of {len(functions)} functions "
+                "in-process (results are unaffected, throughput is)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            finish_sequentially()
+        return results

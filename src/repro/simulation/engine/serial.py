@@ -1,0 +1,26 @@
+"""The scalar execution backend (the platform's original invocation path).
+
+Kept as the reference implementation: it drives
+:meth:`~repro.simulation.platform.ServerlessPlatform.invoke` once per arrival,
+so per-invocation records land in the platform log exactly as before and the
+random draw order matches the seed repository invocation for invocation.  The
+parity tests compare the vectorized and parallel backends against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.engine.base import BatchResult, ExecutionBackend, register_backend
+
+
+@register_backend
+class SerialBackend(ExecutionBackend):
+    """Executes a batch as one scalar :meth:`invoke` call per arrival."""
+
+    name = "serial"
+
+    def run_batch(self, platform, function_name: str, arrivals: np.ndarray) -> BatchResult:
+        function = platform.get_function(function_name)
+        records = [platform.invoke(function_name, at_time_s=float(t)) for t in arrivals]
+        return BatchResult.from_records(function_name, function.memory_mb, records)

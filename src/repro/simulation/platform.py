@@ -131,6 +131,14 @@ class ServerlessPlatform:
         self._instances: dict[str, list[_WorkerInstance]] = {}
         self._next_instance_id = 0
         self.invocation_log: list[InvocationRecord] = []
+        self._records_by_function: dict[str, list[InvocationRecord]] = {}
+        self._cost_by_function: dict[str, float] = {}
+        self._cost_total = 0.0
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The platform-level random generator (shared by all noise sources)."""
+        return self._rng
 
     # ------------------------------------------------------------- deployment
     @property
@@ -190,6 +198,15 @@ class ServerlessPlatform:
     ) -> tuple[_WorkerInstance, bool]:
         """Find an idle warm instance or cold-start a new one."""
         instances = self._instances[name]
+        if len(instances) == 1:
+            # Fast path for the dominant open-loop case: a single warm
+            # worker, idle at the arrival and within its keep-alive — the
+            # reclaim scan below would keep it and the search would pick it.
+            instance = instances[0]
+            if instance.busy_until_s <= at_time_s and not self.cold_start_model.is_expired(
+                max(at_time_s - instance.last_used_s, 0.0)
+            ):
+                return instance, False
         # Reclaim instances that exceeded the keep-alive.
         instances[:] = [
             inst
@@ -257,26 +274,62 @@ class ServerlessPlatform:
             instance_id=instance.instance_id,
         )
         self.invocation_log.append(record)
+        self._records_by_function.setdefault(name, []).append(record)
+        self._note_cost(name, cost)
         return record
 
     def invoke_many(self, name: str, timestamps_s: list[float]) -> list[InvocationRecord]:
         """Invoke a function once per timestamp (timestamps need not be sorted)."""
         return [self.invoke(name, at_time_s=t) for t in sorted(timestamps_s)]
 
+    def invoke_batch(self, name: str, timestamps_s, backend=None):
+        """Invoke a function once per timestamp through an execution backend.
+
+        Parameters
+        ----------
+        name:
+            Deployed function to invoke.
+        timestamps_s:
+            Arrival timestamps (seconds, need not be sorted).
+        backend:
+            Backend name (``"serial"``, ``"vectorized"``, ``"parallel"``) or an
+            :class:`~repro.simulation.engine.ExecutionBackend` instance;
+            defaults to the serial (scalar) path.
+
+        Returns a :class:`~repro.simulation.engine.BatchResult` with one column
+        per invocation attribute.  The serial backend also appends every
+        invocation to the log (exactly like :meth:`invoke`); the vectorized
+        and parallel backends only update billing totals and instance state,
+        keeping memory bounded during large runs.
+        """
+        from repro.simulation.engine import get_backend
+
+        resolved = get_backend(backend if backend is not None else "serial")
+        arrivals = np.sort(np.asarray(timestamps_s, dtype=float))
+        if np.any(arrivals < 0):
+            raise SimulationError("at_time_s must be non-negative")
+        return resolved.run_batch(self, name, arrivals)
+
     # ---------------------------------------------------------------- billing
+    def _note_cost(self, name: str, cost_usd: float) -> None:
+        """Add an amount to the per-function and global billing totals."""
+        self._cost_by_function[name] = self._cost_by_function.get(name, 0.0) + cost_usd
+        self._cost_total += cost_usd
+
     def total_cost_usd(self, name: str | None = None) -> float:
-        """Total billed cost, optionally restricted to one function."""
-        return float(
-            sum(
-                record.cost_usd
-                for record in self.invocation_log
-                if name is None or record.function_name == name
-            )
-        )
+        """Total billed cost, optionally restricted to one function.
+
+        Totals are running counters and therefore include batch invocations
+        whose per-invocation records were never materialized, as well as
+        records already discarded via :meth:`discard_function_records`.
+        """
+        if name is None:
+            return float(self._cost_total)
+        return float(self._cost_by_function.get(name, 0.0))
 
     def records_for(self, name: str) -> list[InvocationRecord]:
-        """All invocation records of one function."""
-        return [record for record in self.invocation_log if record.function_name == name]
+        """All retained invocation records of one function."""
+        return list(self._records_by_function.get(name, ()))
 
     def warm_instance_count(self, name: str) -> int:
         """Number of currently provisioned worker instances for ``name``."""
@@ -284,8 +337,29 @@ class ServerlessPlatform:
         return len(self._instances[name])
 
     def reset_log(self) -> None:
-        """Clear the invocation log (keeps deployments and warm instances)."""
+        """Clear the invocation log and billing totals (keeps deployments)."""
         self.invocation_log.clear()
+        self._records_by_function.clear()
+        self._cost_by_function.clear()
+        self._cost_total = 0.0
+
+    def discard_function_records(self, name: str) -> int:
+        """Drop one function's retained records, keeping its billing totals.
+
+        Harnesses call this after aggregating a measurement window so that the
+        log stays bounded during large generation runs.  Returns the number of
+        records discarded.
+        """
+        dropped = self._records_by_function.pop(name, None)
+        if not dropped:
+            return 0
+        if len(dropped) == len(self.invocation_log):
+            self.invocation_log.clear()
+        else:
+            self.invocation_log = [
+                record for record in self.invocation_log if record.function_name != name
+            ]
+        return len(dropped)
 
     # ------------------------------------------------------------------ misc
     @staticmethod

@@ -13,6 +13,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
@@ -111,6 +113,25 @@ class PricingModel:
     def execution_cost_cents(self, execution_time_ms: float, memory_mb: float) -> float:
         """Cost in US cents (the unit used by paper Figure 1)."""
         return self.execution_cost(execution_time_ms, memory_mb) * 100.0
+
+    def billed_duration_batch_ms(self, execution_times_ms):
+        """Vectorized :meth:`billed_duration_ms` for an array of durations."""
+        times = np.asarray(execution_times_ms, dtype=float)
+        if np.any(times < 0):
+            raise ConfigurationError("execution_time_ms must be non-negative")
+        duration = np.maximum(times, self.scheme.minimum_billed_ms)
+        granularity = self.scheme.billing_granularity_ms
+        return np.ceil(duration / granularity) * granularity
+
+    def execution_cost_batch(self, execution_times_ms, memory_mb: float):
+        """Vectorized :meth:`execution_cost` for an array of durations."""
+        if memory_mb <= 0:
+            raise ConfigurationError("memory_mb must be positive")
+        billed_ms = self.billed_duration_batch_ms(execution_times_ms)
+        gb_seconds = (memory_mb / 1024.0) * (billed_ms / 1000.0)
+        return (
+            gb_seconds * self.scheme.price_per_gb_second + self.scheme.price_per_request
+        )
 
     def monthly_cost(
         self, execution_time_ms: float, memory_mb: float, invocations_per_month: float

@@ -192,7 +192,7 @@ class NodeRuntimeModel:
         min_lag = 0.02
         std_lag = mean_lag * 0.8
 
-        metrics = {
+        metrics: dict[str, float] = {
             "execution_time": float(execution_time),
             "user_cpu_time": float(user_cpu),
             "system_cpu_time": float(system_cpu),
@@ -218,6 +218,127 @@ class NodeRuntimeModel:
             "max_event_loop_lag": float(max_lag),
             "mean_event_loop_lag": float(mean_lag),
             "std_event_loop_lag": float(std_lag),
+        }
+        missing = set(METRIC_NAMES) - set(metrics)
+        if missing:  # defensive: keep the metric list and the dict in sync
+            raise SimulationError(f"runtime model missed metrics: {sorted(missing)}")
+        return metrics
+
+    def metrics_batch(
+        self,
+        profile: ResourceProfile,
+        memory_mb: float,
+        cpu_ms: np.ndarray,
+        fs_ms: np.ndarray,
+        network_ms: np.ndarray,
+        service_ms: np.ndarray,
+        total_ms: np.ndarray,
+        cpu_share: float,
+        pressure_factor: float,
+        service_bytes_in: float,
+        service_bytes_out: float,
+        rng: np.random.Generator,
+        counter_noise: float = 0.02,
+    ) -> dict[str, np.ndarray]:
+        """Vectorized counterpart of :meth:`metrics` for a whole arrival batch.
+
+        The timing arguments are per-invocation arrays (with all multiplicative
+        noise already applied, exactly like the :class:`TimingBreakdown` the
+        scalar path receives).  Returns one ``(n,)`` array per Table-1 metric.
+        With ``counter_noise <= 0`` the output matches the scalar path value
+        for value; with noise it matches in distribution (the batch draws the
+        same number of jitter factors, in metric-major instead of
+        invocation-major order).
+        """
+        if memory_mb <= 0:
+            raise SimulationError("memory_mb must be positive")
+        if cpu_share <= 0:
+            raise SimulationError("cpu_share must be positive")
+        n = int(np.asarray(total_ms).shape[0])
+
+        if counter_noise > 0:
+            jitters = np.maximum(rng.normal(1.0, counter_noise, size=(13, n)), 0.5)
+        else:
+            jitters = np.ones((13, n))
+
+        user_cpu = profile.cpu_user_ms * pressure_factor * jitters[0]
+        system_cpu = (
+            profile.cpu_system_ms
+            + 0.08 * fs_ms
+            + 0.05 * network_ms
+            + 0.02 * service_ms
+        ) * jitters[1]
+
+        io_waits = (
+            profile.fs_read_ops
+            + profile.fs_write_ops
+            + profile.total_service_calls
+            + (1.0 if profile.network_bytes_in + profile.network_bytes_out > 0 else 0.0)
+        )
+        vol_switches = (8.0 + 2.5 * io_waits) * jitters[2]
+        throttle_rate = max(1.0 / cpu_share - 1.0, 0.0)
+        invol_switches = (
+            2.0 + 0.6 * user_cpu * throttle_rate / 10.0 + 0.02 * user_cpu
+        ) * jitters[3]
+
+        fs_reads = (profile.fs_read_ops + profile.fs_read_bytes / 4096.0) * jitters[4]
+        fs_writes = (profile.fs_write_ops + profile.fs_write_bytes / 4096.0) * jitters[5]
+
+        heap_limit = self.heap_fraction_of_memory * memory_mb
+        heap_used = min(profile.heap_allocated_mb, heap_limit) * jitters[6]
+        total_heap = np.minimum(heap_used * 1.35 + 6.0, heap_limit)
+        physical_heap = total_heap * 0.95
+        available_heap = np.maximum(heap_limit - total_heap, 0.0)
+        resident_set = min(
+            _RUNTIME_BASELINE_MB + profile.memory_working_set_mb, memory_mb
+        ) * jitters[7]
+        max_resident_set = np.minimum(resident_set * 1.08, memory_mb)
+        allocated_memory = (profile.memory_working_set_mb * 1.05 + 4.0) * jitters[8]
+        external_memory = (
+            1.5 + 0.4 * (profile.fs_read_bytes + profile.network_bytes_in) / 1e6
+        ) * jitters[9]
+        bytecode_metadata = (0.4 + profile.code_size_kb / 1024.0 * 0.8) * jitters[10]
+
+        bytes_received = (profile.network_bytes_in + service_bytes_in) * jitters[11]
+        bytes_transmitted = (profile.network_bytes_out + service_bytes_out) * jitters[12]
+        packages_received = np.ceil(bytes_received / _PACKET_BYTES) + profile.total_service_calls
+        packages_transmitted = (
+            np.ceil(bytes_transmitted / _PACKET_BYTES) + profile.total_service_calls
+        )
+
+        async_boundaries = max(io_waits, 1.0)
+        blocking_wall_ms = cpu_ms * profile.blocking_fraction
+        mean_lag = blocking_wall_ms / (async_boundaries + 1.0) + 0.05
+        max_lag = mean_lag * 3.0 + 0.1
+        min_lag = np.full(n, 0.02)
+        std_lag = mean_lag * 0.8
+
+        metrics = {
+            "execution_time": np.asarray(total_ms, dtype=float),
+            "user_cpu_time": user_cpu,
+            "system_cpu_time": system_cpu,
+            "vol_context_switches": vol_switches,
+            "invol_context_switches": invol_switches,
+            "fs_reads": fs_reads,
+            "fs_writes": fs_writes,
+            "resident_set_size": resident_set,
+            "max_resident_set_size": max_resident_set,
+            "total_heap": total_heap,
+            "heap_used": heap_used,
+            "physical_heap": physical_heap,
+            "available_heap": available_heap,
+            "heap_limit": np.full(n, heap_limit),
+            "allocated_memory": allocated_memory,
+            "external_memory": external_memory,
+            "bytecode_metadata": bytecode_metadata,
+            "bytes_received": bytes_received,
+            "bytes_transmitted": bytes_transmitted,
+            "packages_received": packages_received,
+            "packages_transmitted": packages_transmitted,
+            "min_event_loop_lag": min_lag,
+            "max_event_loop_lag": max_lag,
+            "mean_event_loop_lag": mean_lag,
+            "std_event_loop_lag": std_lag,
         }
         missing = set(METRIC_NAMES) - set(metrics)
         if missing:  # defensive: keep the metric list and the dict in sync

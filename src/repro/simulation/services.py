@@ -128,6 +128,43 @@ class ServiceCatalog:
         model = self.get(call.service)
         return float(sum(model.sample_latency_ms(call, rng) for _ in range(call.calls)))
 
+    def sample_latency_batch_ms(
+        self,
+        calls: tuple[ServiceCall, ...],
+        rng: np.random.Generator,
+        n: int,
+    ) -> np.ndarray:
+        """Sample the total service-side latency of ``n`` invocations at once.
+
+        Each invocation performs every call in ``calls``; the result is the
+        per-invocation sum over all of them.  Draws happen invocation-major
+        (all calls of invocation 0, then invocation 1, ...), the same order the
+        scalar path uses, so a noise-free-otherwise simulation produces
+        identical per-invocation latencies with either path.
+        """
+        total = np.zeros(n)
+        means: list[float] = []
+        sigmas: list[float] = []
+        for call in calls:
+            model = self.get(call.service)
+            mean = model.mean_latency_ms(call)
+            if model.latency_cv <= 0 or mean <= 0:
+                # The scalar sampler returns the mean without consuming a draw.
+                total += mean * call.calls
+                continue
+            sigma = float(np.sqrt(np.log(1.0 + model.latency_cv**2)))
+            means.extend([mean] * call.calls)
+            sigmas.extend([sigma] * call.calls)
+        if means:
+            mean_row = np.asarray(means)
+            sigma_row = np.asarray(sigmas)
+            # lognormal(mu, sigma) == exp(mu + sigma * z): drawing the standard
+            # normals row-major reproduces the scalar per-call draw sequence.
+            z = rng.standard_normal((n, len(means)))
+            factors = np.exp(-0.5 * sigma_row * sigma_row + sigma_row * z)
+            total += (mean_row * factors).sum(axis=1)
+        return total
+
     @staticmethod
     def default() -> "ServiceCatalog":
         """Catalog with the default AWS-like service models."""

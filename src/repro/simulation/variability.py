@@ -66,9 +66,22 @@ class VariabilityModel:
         mu = -0.5 * sigma * sigma
         return float(rng.lognormal(mean=mu, sigma=sigma))
 
+    @staticmethod
+    def _lognormal_factors(rng: np.random.Generator, cv: float, n: int) -> np.ndarray:
+        """Batched counterpart of :meth:`_lognormal_factor` (one draw per entry)."""
+        if cv <= 0:
+            return np.ones(n)
+        sigma = float(np.sqrt(np.log(1.0 + cv * cv)))
+        mu = -0.5 * sigma * sigma
+        return rng.lognormal(mean=mu, sigma=sigma, size=n)
+
     def cpu_factor(self, rng: np.random.Generator) -> float:
         """Noise factor for locally executed (CPU / fs) durations."""
         return self._lognormal_factor(rng, self.cpu_noise_cv)
+
+    def cpu_factors(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Batch of CPU noise factors for ``n`` invocations."""
+        return self._lognormal_factors(rng, self.cpu_noise_cv, n)
 
     def service_factor(self, rng: np.random.Generator) -> float:
         """Noise factor for managed-service latencies."""
@@ -84,11 +97,25 @@ class VariabilityModel:
             return float(self.tail_multiplier)
         return 1.0
 
+    def tail_factors(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Batch of straggler multipliers for ``n`` invocations."""
+        if self.tail_probability <= 0:
+            return np.ones(n)
+        stragglers = rng.random(n) < self.tail_probability
+        return np.where(stragglers, float(self.tail_multiplier), 1.0)
+
     def drift_factor(self, timestamp_s: float) -> float:
         """Slow deterministic platform drift at ``timestamp_s`` (period ~1 h)."""
         if self.drift_amplitude <= 0:
             return 1.0
         return float(1.0 + self.drift_amplitude * np.sin(2.0 * np.pi * timestamp_s / 3600.0))
+
+    def drift_factors(self, timestamps_s: np.ndarray) -> np.ndarray:
+        """Deterministic drift factors for an array of timestamps."""
+        timestamps_s = np.asarray(timestamps_s, dtype=float)
+        if self.drift_amplitude <= 0:
+            return np.ones(timestamps_s.shape)
+        return 1.0 + self.drift_amplitude * np.sin(2.0 * np.pi * timestamps_s / 3600.0)
 
     @staticmethod
     def none() -> "VariabilityModel":

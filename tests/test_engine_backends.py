@@ -1,0 +1,386 @@
+"""Parity tests for the pluggable execution backends.
+
+The vectorized and parallel backends must reproduce the serial (scalar)
+backend's behaviour:
+
+- *exactly* when every noise source is disabled (same invocation-major random
+  draw order, same floating-point pipeline), and
+- *statistically* (aggregates over a measurement window within tight
+  tolerance) when the default noise models are active, for CPU-bound,
+  service-bound and pure API-call profiles, warm and cold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dataset.harness import HarnessConfig, MeasurementHarness
+from repro.monitoring.aggregation import aggregate_records
+from repro.monitoring.collector import ResourceConsumptionMonitor
+from repro.monitoring.metrics import METRIC_NAMES
+from repro.simulation.coldstart import ColdStartModel
+from repro.simulation.engine import (
+    ExecutionBackend,
+    ParallelBackend,
+    SerialBackend,
+    VectorizedBackend,
+    available_backends,
+    get_backend,
+)
+from repro.simulation.execution import ExecutionModel
+from repro.simulation.platform import PlatformConfig, ServerlessPlatform
+from repro.simulation.profile import ResourceProfile, ServiceCall
+from repro.simulation.variability import VariabilityModel
+from repro.workloads.function import FunctionSpec
+
+PROFILES = {
+    "cpu_bound": ResourceProfile(
+        cpu_user_ms=250.0,
+        cpu_system_ms=8.0,
+        memory_working_set_mb=70.0,
+        heap_allocated_mb=50.0,
+        fs_read_bytes=200_000.0,
+        fs_read_ops=4.0,
+        blocking_fraction=0.9,
+    ),
+    "service_bound": ResourceProfile(
+        cpu_user_ms=15.0,
+        cpu_system_ms=4.0,
+        memory_working_set_mb=30.0,
+        heap_allocated_mb=20.0,
+        service_calls=(
+            ServiceCall("dynamodb", "query", request_bytes=1024, response_bytes=4096, calls=2),
+            ServiceCall("s3", "get_object", request_bytes=256, response_bytes=150_000),
+        ),
+        blocking_fraction=0.3,
+    ),
+    "api_call": ResourceProfile(
+        cpu_user_ms=2.0,
+        cpu_system_ms=1.0,
+        memory_working_set_mb=18.0,
+        heap_allocated_mb=10.0,
+        service_calls=(ServiceCall("external_api", "invoke", 512, 2048),),
+        blocking_fraction=0.1,
+    ),
+}
+
+
+def _platform(
+    seed: int = 0,
+    noise_free: bool = False,
+    keep_alive_s: float = 600.0,
+    variability: VariabilityModel | None = None,
+):
+    if noise_free:
+        execution_model = ExecutionModel(variability=VariabilityModel.none())
+    else:
+        execution_model = ExecutionModel(variability=variability)
+    return ServerlessPlatform(
+        config=PlatformConfig(allowed_memory_sizes_mb=None, seed=seed),
+        execution_model=execution_model,
+        cold_start_model=ColdStartModel(
+            noise_cv=0.0 if noise_free else 0.2, keep_alive_s=keep_alive_s
+        ),
+    )
+
+
+def _run(backend: str, profile: ResourceProfile, arrivals, seed=0, **platform_kwargs):
+    platform = _platform(seed=seed, **platform_kwargs)
+    platform.deploy("f", profile, 512)
+    return platform.invoke_batch("f", arrivals, backend=backend), platform
+
+
+def _arrivals(n: int, duration_s: float = 300.0, seed: int = 7) -> np.ndarray:
+    return np.sort(np.random.default_rng(seed).uniform(0.0, duration_s, n))
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        assert {"serial", "vectorized", "parallel"} <= set(available_backends())
+
+    def test_get_backend_by_name(self):
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("vectorized"), VectorizedBackend)
+        assert isinstance(get_backend("parallel", n_workers=2), ParallelBackend)
+
+    def test_get_backend_passthrough(self):
+        backend = VectorizedBackend()
+        assert get_backend(backend) is backend
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("gpu")
+        with pytest.raises(ConfigurationError):
+            HarnessConfig(backend="gpu")
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            ParallelBackend(n_workers=0)
+
+
+class TestExactParity:
+    """With all noise disabled both backends agree invocation for invocation."""
+
+    @pytest.mark.parametrize("profile_name", sorted(PROFILES))
+    def test_noise_free_batches_identical(self, profile_name):
+        profile = PROFILES[profile_name]
+        arrivals = _arrivals(400)
+        serial, _ = _run("serial", profile, arrivals, noise_free=True)
+        vectorized, _ = _run("vectorized", profile, arrivals, noise_free=True)
+
+        np.testing.assert_allclose(
+            serial.execution_time_ms, vectorized.execution_time_ms, rtol=1e-9
+        )
+        np.testing.assert_array_equal(serial.cold_start, vectorized.cold_start)
+        np.testing.assert_array_equal(serial.instance_ids, vectorized.instance_ids)
+        np.testing.assert_allclose(
+            serial.init_duration_ms, vectorized.init_duration_ms, rtol=1e-9
+        )
+        np.testing.assert_allclose(serial.cost_usd, vectorized.cost_usd, rtol=1e-9)
+        for metric in METRIC_NAMES:
+            np.testing.assert_allclose(
+                serial.metrics[metric],
+                vectorized.metrics[metric],
+                rtol=1e-9,
+                atol=1e-12,
+                err_msg=metric,
+            )
+
+    def test_noise_free_aggregates_identical(self):
+        arrivals = _arrivals(300)
+        serial, _ = _run("serial", PROFILES["service_bound"], arrivals, noise_free=True)
+        vectorized, _ = _run("vectorized", PROFILES["service_bound"], arrivals, noise_free=True)
+        agg_s = serial.aggregate(warmup_s=30.0)
+        agg_v = vectorized.aggregate(warmup_s=30.0)
+        assert agg_s.n_invocations == agg_v.n_invocations
+        for metric in METRIC_NAMES:
+            assert agg_s.mean(metric) == pytest.approx(agg_v.mean(metric), rel=1e-9)
+            assert agg_s.std(metric) == pytest.approx(agg_v.std(metric), rel=1e-9, abs=1e-12)
+
+
+class TestStatisticalParity:
+    """With default noise, window aggregates agree within sampling error."""
+
+    N = 2500
+
+    @pytest.mark.parametrize("profile_name", sorted(PROFILES))
+    def test_warm_aggregates_match(self, profile_name):
+        profile = PROFILES[profile_name]
+        arrivals = _arrivals(self.N, duration_s=600.0)
+        # With the default 1 % straggler rate the 99th percentile sits exactly
+        # on the bimodal straggler boundary, where it is dominated by Poisson
+        # noise in the straggler count rather than backend behaviour.  A wider
+        # straggler band places p99 inside a smooth region so the percentile
+        # comparison is meaningful.
+        variability = VariabilityModel(tail_probability=0.08, tail_multiplier=1.6)
+        serial, _ = _run("serial", profile, arrivals, variability=variability)
+        vectorized, _ = _run("vectorized", profile, arrivals, variability=variability)
+
+        warm_s = serial.execution_time_ms[~serial.cold_start]
+        warm_v = vectorized.execution_time_ms[~vectorized.cold_start]
+        assert np.mean(warm_v) == pytest.approx(np.mean(warm_s), rel=0.03)
+        assert np.percentile(warm_v, 50) == pytest.approx(np.percentile(warm_s, 50), rel=0.03)
+        assert np.percentile(warm_v, 99) == pytest.approx(np.percentile(warm_s, 99), rel=0.10)
+
+        agg_s = serial.aggregate(warmup_s=30.0)
+        agg_v = vectorized.aggregate(warmup_s=30.0)
+        for metric in METRIC_NAMES:
+            assert agg_v.mean(metric) == pytest.approx(
+                agg_s.mean(metric), rel=0.05, abs=1e-6
+            ), metric
+
+    def test_cold_aggregates_match(self):
+        # A tiny keep-alive and arrivals sparser than one invocation's
+        # end-to-end latency force a cold start for every invocation; compare
+        # the all-cold window including init durations.
+        profile = PROFILES["api_call"]
+        arrivals = np.arange(2.0, 800.0, 2.0)  # 0.5 req/s, keep-alive 0.3 s
+        serial, _ = _run("serial", profile, arrivals, keep_alive_s=0.3)
+        vectorized, _ = _run("vectorized", profile, arrivals, keep_alive_s=0.3)
+
+        assert serial.n_cold_starts == serial.n_invocations
+        assert vectorized.n_cold_starts == vectorized.n_invocations
+        assert np.mean(vectorized.init_duration_ms) == pytest.approx(
+            np.mean(serial.init_duration_ms), rel=0.05
+        )
+        agg_s = serial.aggregate(exclude_cold_starts=False)
+        agg_v = vectorized.aggregate(exclude_cold_starts=False)
+        assert agg_s.n_invocations == agg_v.n_invocations == serial.n_invocations
+        for metric in METRIC_NAMES:
+            assert agg_v.mean(metric) == pytest.approx(
+                agg_s.mean(metric), rel=0.05, abs=1e-6
+            ), metric
+
+    def test_parallel_run_batch_equals_vectorized(self):
+        arrivals = _arrivals(500)
+        vectorized, _ = _run("vectorized", PROFILES["service_bound"], arrivals, seed=3)
+        parallel, _ = _run("parallel", PROFILES["service_bound"], arrivals, seed=3)
+        np.testing.assert_array_equal(
+            vectorized.execution_time_ms, parallel.execution_time_ms
+        )
+        for metric in METRIC_NAMES:
+            np.testing.assert_array_equal(
+                vectorized.metrics[metric], parallel.metrics[metric], err_msg=metric
+            )
+
+    def test_parallel_measurements_match_vectorized(self):
+        functions = [
+            FunctionSpec(name=f"fn-{name}", profile=profile)
+            for name, profile in sorted(PROFILES.items())
+        ]
+        sizes = (256, 1024)
+
+        def measure(backend, n_workers=None):
+            harness = MeasurementHarness(
+                config=HarnessConfig(
+                    memory_sizes_mb=sizes,
+                    max_invocations_per_size=60,
+                    seed=11,
+                    backend=backend,
+                    n_workers=n_workers,
+                )
+            )
+            return harness.measure_many(functions)
+
+        reference = measure("vectorized")
+        parallel = measure("parallel", n_workers=2)
+        assert [m.function_name for m in parallel] == [m.function_name for m in reference]
+        for ref, par in zip(reference, parallel):
+            for size in sizes:
+                assert par.execution_time_ms(size) == pytest.approx(
+                    ref.execution_time_ms(size), rel=0.10
+                )
+
+    def test_parallel_reproducible_across_worker_counts(self):
+        functions = [
+            FunctionSpec(name=f"repro-{name}", profile=profile)
+            for name, profile in sorted(PROFILES.items())
+        ]
+
+        def measure(n_workers):
+            harness = MeasurementHarness(
+                config=HarnessConfig(
+                    memory_sizes_mb=(256,),
+                    max_invocations_per_size=8,
+                    seed=6,
+                    backend="parallel",
+                    n_workers=n_workers,
+                )
+            )
+            return harness.measure_many(functions)
+
+        single = measure(1)
+        pooled = measure(2)
+        for one, two in zip(single, pooled):
+            assert one.execution_time_ms(256) == pytest.approx(
+                two.execution_time_ms(256), rel=1e-12
+            )
+
+    def test_parallel_progress_callback(self):
+        functions = [
+            FunctionSpec(name=f"fn-{name}", profile=profile)
+            for name, profile in sorted(PROFILES.items())
+        ]
+        harness = MeasurementHarness(
+            config=HarnessConfig(
+                memory_sizes_mb=(256,),
+                max_invocations_per_size=8,
+                seed=2,
+                backend="parallel",
+                n_workers=2,
+            )
+        )
+        calls = []
+        harness.measure_many(
+            functions, progress_callback=lambda i, n, name: calls.append((i, n, name))
+        )
+        assert len(calls) == len(functions)
+        assert {done for done, _, _ in calls} == {1, 2, 3}
+
+
+class TestBatchBookkeeping:
+    """Billing totals, record streaming and compat materialization."""
+
+    def test_vectorized_updates_costs_without_records(self):
+        arrivals = _arrivals(200)
+        batch, platform = _run("vectorized", PROFILES["cpu_bound"], arrivals)
+        assert platform.records_for("f") == []
+        assert platform.invocation_log == []
+        assert platform.total_cost_usd("f") == pytest.approx(batch.total_cost_usd)
+        assert platform.get_function("f").invocation_count == len(arrivals)
+        assert platform.warm_instance_count("f") > 0
+
+    def test_serial_batch_keeps_log_and_index(self):
+        arrivals = _arrivals(50)
+        batch, platform = _run("serial", PROFILES["cpu_bound"], arrivals)
+        assert len(platform.records_for("f")) == 50
+        assert platform.total_cost_usd() == pytest.approx(batch.total_cost_usd)
+        platform.discard_function_records("f")
+        assert platform.records_for("f") == []
+        assert platform.invocation_log == []
+        # billing totals survive record streaming
+        assert platform.total_cost_usd("f") == pytest.approx(batch.total_cost_usd)
+
+    def test_to_records_round_trip(self):
+        arrivals = _arrivals(40)
+        batch, _ = _run("vectorized", PROFILES["service_bound"], arrivals)
+        records = batch.to_records()
+        assert len(records) == batch.n_invocations
+        monitor = ResourceConsumptionMonitor()
+        monitor.observe_batch(batch)
+        summary = aggregate_records(monitor.records, exclude_cold_starts=True)
+        direct = batch.aggregate()
+        assert summary.mean_execution_time_ms == pytest.approx(
+            direct.mean_execution_time_ms
+        )
+        assert summary.n_invocations == direct.n_invocations
+
+    def test_harness_streams_records(self):
+        harness = MeasurementHarness(
+            config=HarnessConfig(
+                memory_sizes_mb=(256, 512), max_invocations_per_size=6, seed=3
+            )
+        )
+        function = FunctionSpec(name="streamed", profile=PROFILES["cpu_bound"])
+        harness.measure_function(function)
+        # serial backend materializes records, the harness then discards them
+        assert harness.platform.records_for("streamed") == []
+        assert harness.platform.total_cost_usd("streamed") > 0.0
+
+    def test_parallel_measure_many_propagates_billing(self):
+        functions = [
+            FunctionSpec(name=f"bill-{name}", profile=profile)
+            for name, profile in sorted(PROFILES.items())[:2]
+        ]
+        harness = MeasurementHarness(
+            config=HarnessConfig(
+                memory_sizes_mb=(256,),
+                max_invocations_per_size=6,
+                seed=4,
+                backend="parallel",
+                n_workers=2,
+            )
+        )
+        harness.measure_many(functions)
+        for function in functions:
+            assert harness.platform.total_cost_usd(function.name) > 0.0
+        assert harness.platform.total_cost_usd() == pytest.approx(
+            sum(harness.platform.total_cost_usd(f.name) for f in functions)
+        )
+
+    def test_custom_backend_instance(self):
+        class CountingBackend(VectorizedBackend):
+            name = "counting"
+            calls = 0
+
+            def run_batch(self, platform, function_name, arrivals):
+                CountingBackend.calls += 1
+                return super().run_batch(platform, function_name, arrivals)
+
+        backend: ExecutionBackend = CountingBackend()
+        platform = _platform()
+        platform.deploy("f", PROFILES["api_call"], 512)
+        platform.invoke_batch("f", [1.0, 2.0, 3.0], backend=backend)
+        assert CountingBackend.calls == 1
