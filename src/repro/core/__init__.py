@@ -28,6 +28,7 @@ from repro.core.features import (
     FeatureExtractor,
     feature_set_f0,
     feature_set_f2,
+    feature_superset,
 )
 from repro.core.feature_selection import SelectionRound, SequentialForwardSelection
 from repro.core.model import SizelessModel, SizelessModelConfig, default_network_config
@@ -49,6 +50,7 @@ __all__ = [
     "FEATURE_SET_F0",
     "feature_set_f0",
     "feature_set_f2",
+    "feature_superset",
     "default_network_config",
     "SequentialForwardSelection",
     "SelectionRound",

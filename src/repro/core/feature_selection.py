@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.ml.metrics import mean_squared_error
-from repro.ml.validation import KFold
+from repro.ml.validation import KFold, cross_validate
 
 
 @dataclass
@@ -101,15 +101,10 @@ class SequentialForwardSelection:
         self.seed = seed
 
     # ------------------------------------------------------------------ score
-    def _cv_score(self, x: np.ndarray, y: np.ndarray) -> float:
-        fold = KFold(n_splits=self.n_splits, seed=self.seed)
-        scores = []
-        for train_idx, test_idx in fold.split(len(x)):
-            model = self.model_factory()
-            model.fit(x[train_idx], y[train_idx])
-            prediction = np.asarray(model.predict(x[test_idx]))
-            scores.append(self.scoring(y[test_idx], prediction))
-        return float(np.mean(scores))
+    def _cv_score(self, x: np.ndarray, y: np.ndarray, splits) -> float:
+        return cross_validate(
+            self.model_factory, x, y, splits, scoring=self.scoring
+        ).mean_score
 
     # -------------------------------------------------------------------- run
     def run(
@@ -136,13 +131,17 @@ class SequentialForwardSelection:
         remaining = list(range(len(feature_names)))
         selected: list[int] = []
         limit = self.max_features if self.max_features is not None else len(feature_names)
+        # One fold assignment for the whole run: every candidate subset is
+        # scored on the same splits of the same precomputed superset matrix
+        # (column selection below), never re-shuffled or re-extracted.
+        splits = list(KFold(n_splits=self.n_splits, seed=self.seed).split(len(features)))
 
         while remaining and len(selected) < limit:
             best_candidate = None
             best_score = float("inf")
             for candidate in remaining:
                 columns = selected + [candidate]
-                score = self._cv_score(features[:, columns], targets)
+                score = self._cv_score(features[:, columns], targets, splits)
                 if score < best_score:
                     best_score = score
                     best_candidate = candidate

@@ -24,10 +24,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError, MonitoringError
-from repro.monitoring.aggregation import MonitoringSummary
+from repro.monitoring.aggregation import STAT_NAMES, MonitoringSummary
 from repro.monitoring.metrics import METRIC_NAMES
 
 _SUFFIXES = ("_per_second", "_mean", "_std", "_cv")
+
+#: Stat-axis column of each direct-statistic feature suffix.
+_STAT_COLUMN = {f"_{stat}": index for index, stat in enumerate(STAT_NAMES)}
 
 
 def _split_feature_name(name: str) -> tuple[str, str]:
@@ -48,6 +51,24 @@ def _split_feature_name(name: str) -> tuple[str, str]:
 def feature_set_f0() -> list[str]:
     """F0: mean execution time plus the mean of every resource metric."""
     return [f"{metric}_mean" for metric in METRIC_NAMES]
+
+
+def feature_superset() -> list[str]:
+    """Every feature the grammar can express over the Table-1 metrics.
+
+    Means, per-second normalised variants (except the constant
+    ``execution_time_per_second``), standard deviations and coefficients of
+    variation of all metrics.  The Figure-4 selection rounds and any other
+    subset evaluation can extract this superset matrix once and select
+    columns from it instead of re-extracting per candidate set.
+    """
+    names = [f"{metric}_mean" for metric in METRIC_NAMES]
+    names += [
+        f"{metric}_per_second" for metric in METRIC_NAMES if metric != "execution_time"
+    ]
+    names += [f"{metric}_std" for metric in METRIC_NAMES]
+    names += [f"{metric}_cv" for metric in METRIC_NAMES]
+    return names
 
 
 def feature_set_f2(selected_metrics: tuple[str, ...] | None = None) -> list[str]:
@@ -155,6 +176,62 @@ class FeatureExtractor:
         if not summaries:
             raise ConfigurationError("extract_matrix needs at least one summary")
         return np.vstack([self.extract(summary) for summary in summaries])
+
+    def extract_table(
+        self,
+        table,
+        memory_mb: int | None = None,
+        function_indices=None,
+    ) -> np.ndarray:
+        """Vectorized whole-table extraction via column slicing.
+
+        Computes the feature matrix straight from the stat arrays of a
+        :class:`~repro.dataset.table.MeasurementTable` — no per-summary
+        objects, no per-feature Python loops over rows.
+
+        Parameters
+        ----------
+        table:
+            The columnar measurement table.
+        memory_mb:
+            Restrict rows to one memory size (one row per function).  When
+            ``None``, all (function, size) cells are flattened function-major
+            into ``(n_functions * n_sizes, n_features)``.
+        function_indices:
+            Optional row subset of axis 0 (keeps the given order).
+
+        Every cell that contributes must be measured with a positive mean
+        execution time if per-second features are requested (matching the
+        scalar :meth:`compute_feature` semantics); callers filter rows
+        beforehand (as :func:`~repro.core.training.build_training_matrices`
+        does).
+        """
+        values = table.values
+        if function_indices is not None:
+            values = values[np.asarray(function_indices, dtype=int)]
+        if memory_mb is not None:
+            values = values[:, table.size_index(memory_mb) : table.size_index(memory_mb) + 1]
+        n_rows = values.shape[0] * values.shape[1]
+        rows = values.reshape(n_rows, values.shape[2], values.shape[3])
+
+        mean_column = _STAT_COLUMN["_mean"]
+        needs_per_second = any(suffix == "_per_second" for (_m, suffix), _n in self._parsed)
+        execution_time_s = None
+        if needs_per_second:
+            execution_time_s = (
+                rows[:, table.metric_index("execution_time"), mean_column] / 1000.0
+            )
+            if np.any(execution_time_s <= 0):
+                raise MonitoringError("cannot normalise by a non-positive execution time")
+
+        out = np.empty((n_rows, self.n_features), dtype=float)
+        for k, ((metric, suffix), _name) in enumerate(self._parsed):
+            metric_index = table.metric_index(metric)
+            if suffix == "_per_second":
+                out[:, k] = rows[:, metric_index, mean_column] / execution_time_s
+            else:
+                out[:, k] = rows[:, metric_index, _STAT_COLUMN[suffix]]
+        return out
 
     def subset(self, feature_names: list[str] | tuple[str, ...]) -> "FeatureExtractor":
         """Return a new extractor restricted to the given features."""

@@ -25,6 +25,7 @@ from repro.core.training import train_model
 from repro.dataset.generation import DatasetGenerationConfig, TrainingDatasetGenerator
 from repro.dataset.harness import HarnessConfig, MeasurementHarness
 from repro.dataset.schema import MeasurementDataset
+from repro.dataset.table import MeasurementTable
 from repro.ml.network import NetworkConfig
 from repro.simulation.platform import PlatformConfig, ServerlessPlatform
 from repro.simulation.pricing import PricingModel
@@ -99,7 +100,8 @@ class SizelessPipeline:
 
     def __init__(self, config: PipelineConfig | None = None) -> None:
         self.config = config if config is not None else PipelineConfig()
-        self.dataset: MeasurementDataset | None = None
+        self.table: MeasurementTable | None = None
+        self._dataset: MeasurementDataset | None = None
         self.models: dict[int, SizelessModel] = {}
         self.predictor: SizelessPredictor | None = None
         self.pricing = PricingModel.for_provider(self.config.provider)
@@ -113,9 +115,36 @@ class SizelessPipeline:
             )
         )
 
+    @property
+    def dataset(self) -> MeasurementDataset | None:
+        """Object-API view of the training measurements.
+
+        Materialized lazily from :attr:`table` on first access, so the
+        columnar offline phase pays for the per-summary object graph only
+        when a caller actually asks for it.
+        """
+        if self._dataset is None and self.table is not None:
+            self._dataset = self.table.to_dataset()
+        return self._dataset
+
+    @dataset.setter
+    def dataset(self, value: MeasurementDataset | None) -> None:
+        # Keep the two views coherent: the table is the canonical artefact,
+        # so replacing the dataset re-columnarizes it (and clearing the
+        # dataset clears the table, otherwise the lazy getter would silently
+        # resurrect the old measurements).
+        self._dataset = value
+        self.table = value.to_table() if value is not None else None
+
     # ---------------------------------------------------------------- offline
     def run_offline_phase(self, progress_callback=None) -> SizelessPredictor:
-        """Generate the training dataset and train the per-base-size models."""
+        """Generate the training dataset and train the per-base-size models.
+
+        The dataset is measured straight into a columnar
+        :class:`~repro.dataset.table.MeasurementTable`; all per-base-size
+        models are then trained by indexing that one table (the object-API
+        :attr:`dataset` view is materialized lazily on first access).
+        """
         generation_config = DatasetGenerationConfig(
             n_functions=self.config.n_training_functions,
             memory_sizes_mb=self.config.memory_sizes_mb,
@@ -125,21 +154,29 @@ class SizelessPipeline:
             n_workers=self.config.n_workers,
         )
         generator = TrainingDatasetGenerator(generation_config)
-        self.dataset = generator.generate(progress_callback=progress_callback)
-        return self.train(self.dataset)
+        return self.train(generator.generate_table(progress_callback=progress_callback))
 
-    def train(self, dataset: MeasurementDataset) -> SizelessPredictor:
-        """Train models on an existing dataset (skips dataset generation)."""
+    def train(self, dataset: MeasurementDataset | MeasurementTable) -> SizelessPredictor:
+        """Train models on existing measurements (skips dataset generation).
+
+        Accepts either representation; an object-API dataset is columnarized
+        once and every base size trains from the same table.
+        """
         if len(dataset) == 0:
             raise ConfigurationError("cannot train on an empty dataset")
-        self.dataset = dataset
+        if isinstance(dataset, MeasurementTable):
+            self.table = dataset
+            self._dataset = None
+        else:
+            self.table = dataset.to_table()
+            self._dataset = dataset
         self.models = {}
         for base_size in self.config.base_memory_sizes_mb:
             targets = tuple(
                 size for size in self.config.memory_sizes_mb if size != base_size
             )
             self.models[int(base_size)] = train_model(
-                dataset,
+                self.table,
                 base_memory_mb=base_size,
                 network_config=self.config.network,
                 feature_names=self.config.feature_names,

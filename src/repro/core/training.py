@@ -1,9 +1,17 @@
 """Training pipeline: matrices, cross-validation (Table 3), final training.
 
-This module turns a :class:`~repro.dataset.schema.MeasurementDataset` into
-the numpy matrices the regression model consumes, runs the repeated k-fold
-cross-validation the paper uses to compare base memory sizes, and trains the
-final per-base-size models.
+This module turns measurements into the numpy matrices the regression model
+consumes, runs the repeated k-fold cross-validation the paper uses to compare
+base memory sizes, and trains the final per-base-size models.  Matrices can
+be assembled from either representation of a measurement campaign:
+
+- a columnar :class:`~repro.dataset.table.MeasurementTable` — the fast path,
+  pure array indexing and slicing;
+- the object-API :class:`~repro.dataset.schema.MeasurementDataset` — the
+  original per-summary extraction loop, kept as the reference path.
+
+Both paths produce bit-identical matrices (asserted by the parity tests in
+``tests/test_dataset_table.py``).
 """
 
 from __future__ import annotations
@@ -16,9 +24,9 @@ from repro.errors import DatasetError
 from repro.core.features import FeatureExtractor
 from repro.core.model import SizelessModel, SizelessModelConfig, default_network_config
 from repro.dataset.schema import MeasurementDataset
-from repro.ml.metrics import regression_report
+from repro.dataset.table import MeasurementTable
 from repro.ml.network import NetworkConfig
-from repro.ml.validation import RepeatedKFold
+from repro.ml.validation import RepeatedKFold, cross_validate
 
 
 @dataclass(frozen=True)
@@ -59,16 +67,26 @@ class TrainingMatrices:
 
 
 def build_training_matrices(
-    dataset: MeasurementDataset,
+    dataset: MeasurementDataset | MeasurementTable,
     base_memory_mb: int = 256,
     target_memory_sizes_mb: tuple[int, ...] | None = None,
     feature_names: tuple[str, ...] | None = None,
 ) -> TrainingMatrices:
     """Build the feature/target matrices for one base memory size.
 
-    Functions missing a measurement at the base or any target size are
-    skipped; an empty result raises :class:`~repro.errors.DatasetError`.
+    Accepts either a columnar :class:`MeasurementTable` (vectorized assembly
+    by array indexing) or an object-API :class:`MeasurementDataset` (the
+    per-summary reference loop).  Functions missing a measurement at the base
+    or any target size are skipped; an empty result raises
+    :class:`~repro.errors.DatasetError`.
     """
+    if isinstance(dataset, MeasurementTable):
+        return _build_matrices_from_table(
+            dataset,
+            base_memory_mb=base_memory_mb,
+            target_memory_sizes_mb=target_memory_sizes_mb,
+            feature_names=feature_names,
+        )
     if len(dataset) == 0:
         raise DatasetError("cannot build training matrices from an empty dataset")
     available_sizes = dataset.common_memory_sizes()
@@ -116,8 +134,50 @@ def build_training_matrices(
     )
 
 
+def _build_matrices_from_table(
+    table: MeasurementTable,
+    base_memory_mb: int,
+    target_memory_sizes_mb: tuple[int, ...] | None,
+    feature_names: tuple[str, ...] | None,
+) -> TrainingMatrices:
+    """Assemble training matrices by indexing the columnar table directly."""
+    if table.n_functions == 0:
+        raise DatasetError("cannot build training matrices from an empty dataset")
+    if target_memory_sizes_mb is None:
+        target_memory_sizes_mb = tuple(
+            size for size in table.common_memory_sizes() if size != base_memory_mb
+        )
+    if not target_memory_sizes_mb:
+        raise DatasetError("no target memory sizes available")
+    extractor = FeatureExtractor(feature_names) if feature_names else FeatureExtractor()
+
+    required = (base_memory_mb, *target_memory_sizes_mb)
+    size_indices = [table.size_index(size) for size in required]
+    execution_means = table.execution_time_ms()
+    base_times = execution_means[:, size_indices[0]]
+    valid = table.measured[:, size_indices].all(axis=1) & (base_times > 0)
+    if not valid.any():
+        raise DatasetError(
+            f"no function in the dataset has measurements at all of {list(required)}"
+        )
+    rows = np.flatnonzero(valid)
+    features = extractor.extract_table(
+        table, memory_mb=base_memory_mb, function_indices=rows
+    )
+    ratios = execution_means[np.ix_(rows, size_indices[1:])] / base_times[rows, None]
+    return TrainingMatrices(
+        base_memory_mb=int(base_memory_mb),
+        target_memory_sizes_mb=tuple(int(size) for size in target_memory_sizes_mb),
+        feature_names=extractor.feature_names,
+        features=features,
+        ratios=ratios,
+        base_execution_times_ms=base_times[rows],
+        function_names=tuple(table.function_names[i] for i in rows),
+    )
+
+
 def cross_validate_base_size(
-    dataset: MeasurementDataset,
+    dataset: MeasurementDataset | MeasurementTable,
     base_memory_mb: int,
     network_config: NetworkConfig | None = None,
     n_splits: int = 5,
@@ -136,9 +196,9 @@ def cross_validate_base_size(
     )
     network_config = network_config if network_config is not None else default_network_config()
     splitter = RepeatedKFold(n_splits=n_splits, n_repeats=n_repeats, seed=seed)
-    reports = []
-    for train_idx, test_idx in splitter.split(matrices.n_samples):
-        model = SizelessModel(
+
+    def make_model() -> SizelessModel:
+        return SizelessModel(
             SizelessModelConfig(
                 base_memory_mb=matrices.base_memory_mb,
                 target_memory_sizes_mb=matrices.target_memory_sizes_mb,
@@ -146,16 +206,20 @@ def cross_validate_base_size(
                 network=network_config,
             )
         )
-        model.fit(matrices.features[train_idx], matrices.ratios[train_idx])
-        predicted = model.predict_ratios(matrices.features[test_idx])
-        reports.append(regression_report(matrices.ratios[test_idx], predicted))
-    return {
-        key: float(np.mean([report[key] for report in reports])) for key in reports[0]
-    }
+
+    result = cross_validate(
+        make_model,
+        matrices.features,
+        matrices.ratios,
+        splitter.split(matrices.n_samples),
+        predict=lambda model, data: model.predict_ratios(data),
+        collect_reports=True,
+    )
+    return result.mean_report()
 
 
 def train_model(
-    dataset: MeasurementDataset,
+    dataset: MeasurementDataset | MeasurementTable,
     base_memory_mb: int = 256,
     network_config: NetworkConfig | None = None,
     feature_names: tuple[str, ...] | None = None,

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError
 from repro.dataset.harness import HarnessConfig, MeasurementHarness
 from repro.dataset.schema import MeasurementDataset
+from repro.dataset.table import MeasurementTable
 from repro.simulation.platform import PlatformConfig, ServerlessPlatform
 from repro.workloads.generator import GeneratorConfig, SyntheticFunctionGenerator
 from repro.workloads.loadgen import Workload
@@ -101,8 +102,24 @@ class TrainingDatasetGenerator:
         )
         self.harness = MeasurementHarness(platform=platform, config=harness_config)
 
-    def generate(self, progress_callback=None) -> MeasurementDataset:
-        """Generate and measure the full dataset.
+    def _metadata(self) -> dict[str, object]:
+        return {
+            "n_functions": self.config.n_functions,
+            "memory_sizes_mb": list(self.config.memory_sizes_mb),
+            "invocations_per_size": self.config.invocations_per_size,
+            "requests_per_second": self.config.requests_per_second,
+            "duration_s": self.config.duration_s,
+            "seed": self.config.seed,
+            "backend": self.config.backend,
+        }
+
+    def generate_table(self, progress_callback=None) -> MeasurementTable:
+        """Generate and measure the full dataset as a columnar table.
+
+        The array-first path: measurements flow from the engine's batch
+        columns straight into the dense
+        :class:`~repro.dataset.table.MeasurementTable` without per-summary
+        objects.
 
         Parameters
         ----------
@@ -111,24 +128,21 @@ class TrainingDatasetGenerator:
             each measured function (used by the examples to print progress).
         """
         functions = self.function_generator.generate(self.config.n_functions)
-        dataset = MeasurementDataset(
+        return self.harness.measure_table(
+            functions,
+            progress_callback=progress_callback,
             description=(
                 f"synthetic training dataset: {self.config.n_functions} functions x "
                 f"{len(self.config.memory_sizes_mb)} memory sizes"
             ),
-            metadata={
-                "n_functions": self.config.n_functions,
-                "memory_sizes_mb": list(self.config.memory_sizes_mb),
-                "invocations_per_size": self.config.invocations_per_size,
-                "requests_per_second": self.config.requests_per_second,
-                "duration_s": self.config.duration_s,
-                "seed": self.config.seed,
-                "backend": self.config.backend,
-            },
+            metadata=self._metadata(),
         )
-        measurements = self.harness.measure_many(
-            functions, progress_callback=progress_callback
-        )
-        for measurement in measurements:
-            dataset.add(measurement)
-        return dataset
+
+    def generate(self, progress_callback=None) -> MeasurementDataset:
+        """Generate and measure the full dataset (object-API view).
+
+        Measures through the columnar table path and materializes the
+        :class:`MeasurementDataset` view — same numbers as the table, same
+        interface as before the table existed.
+        """
+        return self.generate_table(progress_callback=progress_callback).to_dataset()

@@ -23,9 +23,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
-from repro.monitoring.aggregation import MonitoringSummary
+from repro.monitoring.aggregation import STAT_NAMES, MonitoringSummary
+from repro.monitoring.metrics import METRIC_NAMES
 from repro.dataset.schema import FunctionMeasurement
+from repro.dataset.table import MeasurementTable, MeasurementTableBuilder
 from repro.simulation.engine import ExecutionBackend, available_backends, get_backend
 from repro.simulation.platform import PlatformConfig, ServerlessPlatform
 from repro.workloads.function import FunctionSpec
@@ -154,17 +158,110 @@ class MeasurementHarness:
             progress_callback=progress_callback,
         )
 
+    # ----------------------------------------------------------- columnar path
+    def measure_function_stats(
+        self,
+        function: FunctionSpec,
+        memory_sizes_mb: tuple[int, ...] | None = None,
+        workload: Workload | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Measure one function into a bare ``(n_sizes, n_metrics, n_stats)`` block.
+
+        The dict-free row producer of the columnar measurement table: each
+        memory size's batch is aggregated straight from the engine's batch
+        columns (:meth:`BatchResult.aggregate_stats`) without materializing a
+        :class:`MonitoringSummary` or any per-invocation dictionary.  Returns
+        the stat block plus the per-size invocation counts.
+        """
+        memory_sizes = memory_sizes_mb if memory_sizes_mb is not None else self.config.memory_sizes_mb
+        load = workload if workload is not None else self.config.workload
+        stats = np.zeros((len(memory_sizes), len(METRIC_NAMES), len(STAT_NAMES)))
+        counts = np.zeros(len(memory_sizes), dtype=np.int64)
+        for j, memory_mb in enumerate(memory_sizes):
+            batch = self._run_batch_at_size(function, int(memory_mb), load)
+            stats[j], counts[j] = batch.aggregate_stats(
+                warmup_s=load.warmup_s,
+                exclude_cold_starts=self.config.exclude_cold_starts,
+            )
+        if self.config.stream_records:
+            self.platform.discard_function_records(function.name)
+        return stats, counts
+
+    def measure_table(
+        self,
+        functions: list[FunctionSpec],
+        memory_sizes_mb: tuple[int, ...] | None = None,
+        workload: Workload | None = None,
+        progress_callback=None,
+        description: str = "",
+        metadata: dict[str, object] | None = None,
+    ) -> MeasurementTable:
+        """Measure a list of functions into a columnar :class:`MeasurementTable`.
+
+        The array-first counterpart of :meth:`measure_many`: for the
+        sequential backends each (function, size) batch flows from the engine
+        columns into the table without any per-summary objects.  Backends
+        that override function scheduling (the parallel backend) measure
+        through their object path and are columnarized afterwards — the
+        numbers are identical either way.
+        """
+        memory_sizes = tuple(
+            int(size)
+            for size in (
+                memory_sizes_mb if memory_sizes_mb is not None else self.config.memory_sizes_mb
+            )
+        )
+        overridden = (
+            type(self.backend).measure_functions is not ExecutionBackend.measure_functions
+        )
+        if overridden:
+            measurements = self.measure_many(
+                functions,
+                memory_sizes_mb=memory_sizes,
+                workload=workload,
+                progress_callback=progress_callback,
+            )
+            return MeasurementTable.from_measurements(
+                measurements,
+                memory_sizes_mb=memory_sizes,
+                description=description,
+                metadata=metadata,
+            )
+        builder = MeasurementTableBuilder(
+            memory_sizes_mb=memory_sizes, description=description, metadata=metadata
+        )
+        for index, function in enumerate(functions):
+            stats, counts = self.measure_function_stats(
+                function, memory_sizes_mb=memory_sizes, workload=workload
+            )
+            builder.add_function(
+                function.name,
+                application=function.application,
+                segments=function.segments,
+                stats=stats,
+                counts=counts,
+            )
+            if progress_callback is not None:
+                progress_callback(index + 1, len(functions), function.name)
+        return builder.build()
+
     # ------------------------------------------------------------------ internal
-    def _measure_at_size(
+    def _run_batch_at_size(
         self, function: FunctionSpec, memory_mb: int, workload: Workload
-    ) -> MonitoringSummary:
+    ):
+        """Deploy at one size and run the arrival batch through the backend."""
         self.platform.deploy(function.name, function.profile, memory_mb)
         arrivals = self._load_generator.arrival_times(
             workload, max_requests=self.config.max_invocations_per_size
         )
         if not arrivals:
             arrivals = [workload.warmup_s + 0.001]
-        batch = self.platform.invoke_batch(function.name, arrivals, backend=self.backend)
+        return self.platform.invoke_batch(function.name, arrivals, backend=self.backend)
+
+    def _measure_at_size(
+        self, function: FunctionSpec, memory_mb: int, workload: Workload
+    ) -> MonitoringSummary:
+        batch = self._run_batch_at_size(function, memory_mb, workload)
         return batch.aggregate(
             warmup_s=workload.warmup_s,
             exclude_cold_starts=self.config.exclude_cold_starts,

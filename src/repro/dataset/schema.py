@@ -133,6 +133,16 @@ class MeasurementDataset:
         )
         return subset
 
+    def to_table(self):
+        """Columnarize into a :class:`~repro.dataset.table.MeasurementTable`.
+
+        The inverse of :meth:`MeasurementTable.to_dataset`; the conversion is
+        lossless for statistics, invocation counts, segments and metadata.
+        """
+        from repro.dataset.table import MeasurementTable
+
+        return MeasurementTable.from_dataset(self)
+
     def split(self, n_first: int) -> tuple["MeasurementDataset", "MeasurementDataset"]:
         """Split into the first ``n_first`` measurements and the rest."""
         if not 0 < n_first < len(self.measurements):

@@ -25,6 +25,7 @@ from repro.core.training import build_training_matrices, train_model
 from repro.dataset.generation import DatasetGenerationConfig, TrainingDatasetGenerator
 from repro.dataset.harness import HarnessConfig, MeasurementHarness
 from repro.dataset.schema import FunctionMeasurement, MeasurementDataset
+from repro.dataset.table import MeasurementTable
 from repro.ml.network import NetworkConfig
 from repro.simulation.platform import PlatformConfig, ServerlessPlatform
 from repro.simulation.pricing import PricingModel
@@ -101,15 +102,21 @@ class ExperimentContext:
     def __init__(self, scale: ExperimentScale | None = None) -> None:
         self.scale = scale if scale is not None else ExperimentScale.standard()
         self.pricing = PricingModel()
+        self._table: MeasurementTable | None = None
         self._dataset: MeasurementDataset | None = None
         self._models: dict[int, SizelessModel] = {}
         self._case_measurements: dict[str, list[list[FunctionMeasurement]]] | None = None
         self._applications: list[CaseStudyApplication] | None = None
 
     # --------------------------------------------------------------- dataset
-    def training_dataset(self) -> MeasurementDataset:
-        """The synthetic training dataset (generated once, then cached)."""
-        if self._dataset is None:
+    def training_table(self) -> MeasurementTable:
+        """The synthetic training measurements as a columnar table.
+
+        Generated once (straight from engine batch columns) and cached; the
+        object-API :meth:`training_dataset` view and all training matrices
+        derive from this one artefact.
+        """
+        if self._table is None:
             generator = TrainingDatasetGenerator(
                 DatasetGenerationConfig(
                     n_functions=self.scale.n_training_functions,
@@ -120,14 +127,20 @@ class ExperimentContext:
                     n_workers=self.scale.n_workers,
                 )
             )
-            self._dataset = generator.generate()
+            self._table = generator.generate_table()
+        return self._table
+
+    def training_dataset(self) -> MeasurementDataset:
+        """The synthetic training dataset (object-API view of the table)."""
+        if self._dataset is None:
+            self._dataset = self.training_table().to_dataset()
         return self._dataset
 
     def training_matrices(self, base_memory_mb: int | None = None):
         """Training matrices for one base size (defaults to the paper's 256 MB)."""
         base = base_memory_mb if base_memory_mb is not None else self.scale.default_base_size_mb
         return build_training_matrices(
-            self.training_dataset(),
+            self.training_table(),
             base_memory_mb=base,
             feature_names=self.scale.feature_names,
         )
@@ -141,7 +154,7 @@ class ExperimentContext:
         if base not in self._models:
             targets = tuple(size for size in self.scale.memory_sizes_mb if size != base)
             self._models[base] = train_model(
-                self.training_dataset(),
+                self.training_table(),
                 base_memory_mb=base,
                 network_config=self.scale.network,
                 feature_names=self.scale.feature_names,

@@ -12,11 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.feature_selection import SelectionRound, SequentialForwardSelection
-from repro.core.features import FeatureExtractor, feature_set_f0
-from repro.dataset.schema import MeasurementDataset
+from repro.core.features import feature_set_f0, feature_superset
+from repro.core.training import build_training_matrices
 from repro.experiments.context import ExperimentContext
 from repro.ml.linear import LinearRegression
 from repro.monitoring.metrics import METRIC_NAMES
@@ -35,19 +33,6 @@ class Figure4Result:
         return {index + 1: round_.curve() for index, round_ in enumerate(self.rounds)}
 
 
-def _matrices(dataset: MeasurementDataset, feature_names: list[str], base: int, targets: tuple[int, ...]):
-    extractor = FeatureExtractor(tuple(feature_names))
-    features, ratios = [], []
-    for measurement in dataset:
-        if not measurement.has_all_sizes((base, *targets)):
-            continue
-        summary = measurement.summary_at(base)
-        base_time = summary.mean_execution_time_ms
-        features.append(extractor.extract(summary))
-        ratios.append([measurement.execution_time_ms(t) / base_time for t in targets])
-    return np.vstack(features), np.array(ratios)
-
-
 def run(
     context: ExperimentContext | None = None,
     base_memory_mb: int = 256,
@@ -64,8 +49,21 @@ def run(
     substantially higher runtime).
     """
     context = context if context is not None else ExperimentContext()
-    dataset = context.training_dataset()
+    table = context.training_table()
     targets = tuple(size for size in context.scale.memory_sizes_mb if size != base_memory_mb)
+
+    # One vectorized extraction of the full feature grammar; every selection
+    # round below slices candidate columns out of this superset matrix
+    # instead of re-extracting features per round.
+    superset = feature_superset()
+    matrices = build_training_matrices(
+        table,
+        base_memory_mb=base_memory_mb,
+        target_memory_sizes_mb=targets,
+        feature_names=tuple(superset),
+    )
+    superset_matrix, y = matrices.features, matrices.ratios
+    column_of = {name: index for index, name in enumerate(superset)}
 
     def make_selector() -> SequentialForwardSelection:
         return SequentialForwardSelection(
@@ -75,12 +73,15 @@ def run(
             seed=seed,
         )
 
+    def run_round(feature_names: list[str]) -> SelectionRound:
+        columns = [column_of[name] for name in feature_names]
+        return make_selector().run(superset_matrix[:, columns], y, feature_names)
+
     result = Figure4Result()
 
     # Round 1: means of every metric (F0).
     f0 = feature_set_f0()
-    x0, y = _matrices(dataset, f0, base_memory_mb, targets)
-    round1 = make_selector().run(x0, y, f0)
+    round1 = run_round(f0)
     result.rounds.append(round1)
 
     # Round 2: round-1 survivors plus their per-second normalised variants (F2).
@@ -89,8 +90,7 @@ def run(
     f2 += [f"{metric}_per_second" for metric in survivors if metric != "execution_time"]
     if "execution_time_mean" not in f2:
         f2.insert(0, "execution_time_mean")
-    x2, y = _matrices(dataset, f2, base_memory_mb, targets)
-    round2 = make_selector().run(x2, y, f2)
+    round2 = run_round(f2)
     result.rounds.append(round2)
 
     # Round 3: round-2 survivors plus std / cv of the surviving base metrics (F4).
@@ -106,8 +106,7 @@ def run(
             continue
         f4.append(f"{metric}_std")
         f4.append(f"{metric}_cv")
-    x4, y = _matrices(dataset, f4, base_memory_mb, targets)
-    round3 = make_selector().run(x4, y, f4)
+    round3 = run_round(f4)
     result.rounds.append(round3)
 
     result.final_features = list(round3.selected_features)

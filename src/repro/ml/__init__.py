@@ -38,7 +38,13 @@ from repro.ml.metrics import (
 from repro.ml.network import NetworkConfig, NeuralNetwork
 from repro.ml.optimizers import Adagrad, Adam, Optimizer, SGD, get_optimizer
 from repro.ml.scaling import MinMaxScaler, StandardScaler
-from repro.ml.validation import KFold, RepeatedKFold, train_test_split
+from repro.ml.validation import (
+    CrossValidationResult,
+    KFold,
+    RepeatedKFold,
+    cross_validate,
+    train_test_split,
+)
 
 __all__ = [
     "Activation",
@@ -58,6 +64,8 @@ __all__ = [
     "KFold",
     "RepeatedKFold",
     "train_test_split",
+    "cross_validate",
+    "CrossValidationResult",
     "mean_squared_error",
     "mean_absolute_error",
     "mean_absolute_percentage_error",

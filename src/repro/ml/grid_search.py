@@ -15,9 +15,9 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.ml.metrics import mean_squared_error, regression_report
+from repro.ml.metrics import mean_squared_error
 from repro.ml.network import NetworkConfig, NeuralNetwork
-from repro.ml.validation import KFold
+from repro.ml.validation import KFold, cross_validate
 
 
 @dataclass
@@ -99,21 +99,14 @@ class GridSearch:
             combos.append(dict(zip(keys, values)))
         return combos
 
-    def _evaluate(self, config: NetworkConfig, x: np.ndarray, y: np.ndarray) -> tuple[float, dict[str, float]]:
-        fold = KFold(n_splits=self.n_splits, seed=self.seed)
-        scores = []
-        reports = []
-        for train_idx, test_idx in fold.split(len(x)):
-            net = NeuralNetwork(config)
-            net.fit(x[train_idx], y[train_idx])
-            pred = net.predict(x[test_idx])
-            scores.append(self.scoring(y[test_idx], pred))
-            reports.append(regression_report(y[test_idx], pred))
-        mean_report = {
-            key: float(np.mean([report[key] for report in reports]))
-            for key in reports[0]
-        }
-        return float(np.mean(scores)), mean_report
+    def _evaluate(
+        self, config: NetworkConfig, x: np.ndarray, y: np.ndarray, splits
+    ) -> tuple[float, dict[str, float]]:
+        result = cross_validate(
+            lambda: NeuralNetwork(config), x, y, splits,
+            scoring=self.scoring, collect_reports=True,
+        )
+        return result.mean_score, result.mean_report()
 
     def run(self, x: np.ndarray, y: np.ndarray) -> GridSearchResult:
         """Evaluate the full grid on ``(x, y)`` and return the best configuration."""
@@ -122,9 +115,12 @@ class GridSearch:
         results: list[dict[str, Any]] = []
         best_score = float("inf")
         best_config = self.base_config
+        # One fold assignment for the whole grid: every combination trains on
+        # the same precomputed splits of the same feature matrix.
+        splits = list(KFold(n_splits=self.n_splits, seed=self.seed).split(len(x)))
         for params in self.combinations():
             config = self.base_config.replace(**params)
-            score, report = self._evaluate(config, x, y)
+            score, report = self._evaluate(config, x, y, splits)
             results.append({"params": params, "score": score, "report": report})
             if score < best_score:
                 best_score = score

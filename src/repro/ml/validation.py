@@ -1,13 +1,18 @@
-"""Data splitting utilities: train/test split, k-fold, repeated k-fold.
+"""Data splitting utilities and the shared cross-validation loop.
 
 The paper evaluates each base memory size with "ten iterations of five-fold
 cross-validation with a random split" (Section 3.4); :class:`RepeatedKFold`
-implements exactly that protocol.
+implements exactly that protocol.  :func:`cross_validate` is the one
+fit/predict/score loop shared by base-size evaluation
+(:func:`repro.core.training.cross_validate_base_size`), sequential forward
+feature selection and the hyperparameter grid search.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -81,3 +86,82 @@ class RepeatedKFold:
         for repeat in range(self.n_repeats):
             fold = KFold(n_splits=self.n_splits, seed=base + repeat)
             yield from fold.split(n_samples)
+
+
+@dataclass(frozen=True)
+class CrossValidationResult:
+    """Per-fold scores (and optional per-fold regression reports)."""
+
+    scores: tuple[float, ...]
+    reports: tuple[dict[str, float], ...] = ()
+
+    @property
+    def mean_score(self) -> float:
+        """Mean score over all folds."""
+        return float(np.mean(self.scores))
+
+    def mean_report(self) -> dict[str, float]:
+        """Per-key mean of the fold reports (requires ``collect_reports``)."""
+        if not self.reports:
+            raise ConfigurationError(
+                "no reports collected; pass collect_reports=True to cross_validate"
+            )
+        return {
+            key: float(np.mean([report[key] for report in self.reports]))
+            for key in self.reports[0]
+        }
+
+
+def cross_validate(
+    model_factory: Callable[[], object],
+    x: np.ndarray,
+    y: np.ndarray,
+    splits,
+    scoring: Callable[[np.ndarray, np.ndarray], float] | None = None,
+    predict: Callable[[object, np.ndarray], np.ndarray] | None = None,
+    collect_reports: bool = False,
+) -> CrossValidationResult:
+    """Fit/predict/score one estimator per fold and collect the results.
+
+    The single cross-validation loop behind base-size evaluation, forward
+    feature selection and the hyperparameter grid search — previously three
+    near-identical copies.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable returning a fresh, unfitted estimator with
+        ``fit(x, y)``.
+    x / y:
+        Full feature and target arrays; folds index into them.
+    splits:
+        Iterable of ``(train_indices, test_indices)`` pairs — a
+        :class:`KFold`/:class:`RepeatedKFold` ``split()`` generator, or a
+        precomputed list when the same folds are reused across many candidate
+        models (feature subsets, grid combinations).
+    scoring:
+        ``(y_true, y_pred) -> float`` to aggregate per fold (default MSE).
+    predict:
+        How to predict with a fitted model (default ``model.predict(x)``;
+        pass e.g. ``lambda m, x: m.predict_ratios(x)`` for estimators with a
+        different method name).
+    collect_reports:
+        Also compute the full regression report per fold (for callers that
+        want MSE/MAPE/R^2/explained variance together).
+    """
+    from repro.ml.metrics import mean_squared_error, regression_report
+
+    scoring = scoring if scoring is not None else mean_squared_error
+    predict = predict if predict is not None else (lambda model, data: model.predict(data))
+    scores: list[float] = []
+    reports: list[dict[str, float]] = []
+    for train_idx, test_idx in splits:
+        model = model_factory()
+        model.fit(x[train_idx], y[train_idx])
+        predicted = np.asarray(predict(model, x[test_idx]))
+        scores.append(float(scoring(y[test_idx], predicted)))
+        if collect_reports:
+            reports.append(regression_report(y[test_idx], predicted))
+    if not scores:
+        raise ConfigurationError("cross_validate needs at least one split")
+    return CrossValidationResult(scores=tuple(scores), reports=tuple(reports))

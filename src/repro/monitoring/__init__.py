@@ -14,7 +14,15 @@ the inner handler returns.  This package provides:
   stability analysis behind paper Figure 3.
 """
 
-from repro.monitoring.aggregation import MetricAggregate, MonitoringSummary, aggregate_records
+from repro.monitoring.aggregation import (
+    STAT_NAMES,
+    MetricAggregate,
+    MonitoringSummary,
+    aggregate_arrays,
+    aggregate_records,
+    stat_matrix,
+    summary_from_stats,
+)
 from repro.monitoring.collector import MonitoringRecord, ResourceConsumptionMonitor
 from repro.monitoring.metrics import (
     METRIC_NAMES,
@@ -32,12 +40,16 @@ from repro.monitoring.stability import (
 __all__ = [
     "METRIC_NAMES",
     "PRODUCTION_METRICS",
+    "STAT_NAMES",
     "validate_metric_dict",
     "MonitoringRecord",
     "ResourceConsumptionMonitor",
     "MetricAggregate",
     "MonitoringSummary",
     "aggregate_records",
+    "aggregate_arrays",
+    "stat_matrix",
+    "summary_from_stats",
     "mann_whitney_u",
     "cliffs_delta",
     "interpret_cliffs_delta",

@@ -16,6 +16,10 @@ from repro.errors import MonitoringError
 from repro.monitoring.collector import MonitoringRecord
 from repro.monitoring.metrics import METRIC_NAMES
 
+#: Statistics kept per metric, in column order of :func:`stat_matrix` (and of
+#: the last axis of :class:`~repro.dataset.table.MeasurementTable.values`).
+STAT_NAMES: tuple[str, str, str] = ("mean", "std", "cv")
+
 
 @dataclass(frozen=True)
 class MetricAggregate:
@@ -121,23 +125,25 @@ def aggregate_records(
     )
 
 
-def aggregate_arrays(
-    function_name: str,
-    memory_mb: float,
+def stat_matrix(
     metrics: dict[str, np.ndarray],
     cold_start: np.ndarray | None = None,
     exclude_cold_starts: bool = True,
     window: np.ndarray | None = None,
-) -> MonitoringSummary:
-    """Aggregate columnar per-invocation metrics into a summary.
+) -> tuple[np.ndarray, int]:
+    """Reduce columnar per-invocation metrics to a ``(n_metrics, n_stats)`` array.
 
-    The batch-execution counterpart of :func:`aggregate_records`: instead of a
-    list of per-invocation records it consumes one sample array per metric
-    (plus optional cold-start and measurement-window masks), so large
-    measurement windows never materialize per-invocation dictionaries.  All
-    metric columns are reduced in one matrix pass.  Semantics match the
-    record path exactly: an empty ``window`` falls back to the full batch,
-    and an all-cold window falls back to including the cold starts.
+    The dict-free core of the aggregation layer: one row per Table-1 metric
+    (in :data:`~repro.monitoring.metrics.METRIC_NAMES` order), one column per
+    statistic (in :data:`STAT_NAMES` order), plus the number of invocations
+    that survived the masks.  Semantics match the record path exactly: an
+    empty ``window`` falls back to the full batch, and an all-cold window
+    falls back to including the cold starts.
+
+    This is the single code path every aggregation flows through — the object
+    API (:func:`aggregate_arrays`) and the columnar measurement table
+    (:class:`~repro.dataset.table.MeasurementTable`) both wrap it, so their
+    numbers are bit-identical.
     """
     missing = set(METRIC_NAMES) - set(metrics)
     if missing:
@@ -160,14 +166,33 @@ def aggregate_arrays(
     stds = matrix.std(axis=1)
     safe = np.abs(means) > 1e-12
     cvs = np.divide(stds, means, out=np.zeros_like(stds), where=safe)
-    n_invocations = int(matrix.shape[1])
+    return np.stack([means, stds, cvs], axis=1), int(matrix.shape[1])
+
+
+def summary_from_stats(
+    function_name: str,
+    memory_mb: float,
+    stats: np.ndarray,
+    n_invocations: int,
+) -> MonitoringSummary:
+    """Wrap a :func:`stat_matrix` result into a :class:`MonitoringSummary`.
+
+    The object-API view over one row of the columnar measurement table.
+    """
+    stats = np.asarray(stats, dtype=float)
+    if stats.shape != (len(METRIC_NAMES), len(STAT_NAMES)):
+        raise MonitoringError(
+            f"expected a ({len(METRIC_NAMES)}, {len(STAT_NAMES)}) stat matrix, "
+            f"got shape {stats.shape}"
+        )
+    column = {stat: index for index, stat in enumerate(STAT_NAMES)}
     aggregates = {
         metric: MetricAggregate(
             name=metric,
-            mean=float(means[i]),
-            std=float(stds[i]),
-            cv=float(cvs[i]),
-            n_samples=n_invocations,
+            mean=float(stats[i, column["mean"]]),
+            std=float(stats[i, column["std"]]),
+            cv=float(stats[i, column["cv"]]),
+            n_samples=int(n_invocations),
         )
         for i, metric in enumerate(METRIC_NAMES)
     }
@@ -175,5 +200,30 @@ def aggregate_arrays(
         function_name=function_name,
         memory_mb=float(memory_mb),
         aggregates=aggregates,
-        n_invocations=n_invocations,
+        n_invocations=int(n_invocations),
     )
+
+
+def aggregate_arrays(
+    function_name: str,
+    memory_mb: float,
+    metrics: dict[str, np.ndarray],
+    cold_start: np.ndarray | None = None,
+    exclude_cold_starts: bool = True,
+    window: np.ndarray | None = None,
+) -> MonitoringSummary:
+    """Aggregate columnar per-invocation metrics into a summary.
+
+    The batch-execution counterpart of :func:`aggregate_records`: instead of a
+    list of per-invocation records it consumes one sample array per metric
+    (plus optional cold-start and measurement-window masks), so large
+    measurement windows never materialize per-invocation dictionaries.  All
+    metric columns are reduced in one matrix pass through :func:`stat_matrix`.
+    """
+    stats, n_invocations = stat_matrix(
+        metrics,
+        cold_start=cold_start,
+        exclude_cold_starts=exclude_cold_starts,
+        window=window,
+    )
+    return summary_from_stats(function_name, memory_mb, stats, n_invocations)

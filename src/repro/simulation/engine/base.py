@@ -113,6 +113,29 @@ class BatchResult:
             window=self.timestamps_s >= warmup_s,
         )
 
+    def aggregate_stats(
+        self, warmup_s: float = 0.0, exclude_cold_starts: bool = True
+    ) -> tuple[np.ndarray, int]:
+        """Aggregate the batch into a bare ``(n_metrics, n_stats)`` stat row.
+
+        The dict-free counterpart of :meth:`aggregate`, used by the columnar
+        measurement-table path: no :class:`MonitoringSummary` (or any other
+        per-summary object) is materialized, just the stat matrix and the
+        surviving invocation count.  Same windowing semantics as
+        :meth:`aggregate` and bit-identical numbers (both wrap
+        :func:`repro.monitoring.aggregation.stat_matrix`).
+        """
+        from repro.monitoring.aggregation import stat_matrix
+
+        if self.n_invocations == 0:
+            raise SimulationError("cannot aggregate an empty batch")
+        return stat_matrix(
+            self.metrics,
+            cold_start=self.cold_start,
+            exclude_cold_starts=exclude_cold_starts,
+            window=self.timestamps_s >= warmup_s,
+        )
+
     def to_records(self) -> list["InvocationRecord"]:
         """Materialize scalar :class:`InvocationRecord` objects (compat path).
 

@@ -20,7 +20,7 @@ passing invocation timestamps (the open-loop load generator in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -23,7 +23,7 @@ like in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import WorkloadError
 from repro.simulation.profile import ResourceProfile, ServiceCall

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, DatasetError, ModelError, OptimizationError
@@ -210,6 +209,25 @@ class TestPipeline:
         assert recommendation.selected_memory_mb in (128, 256, 512, 1024, 2048, 3008)
         prediction = pipeline.predict(cpu_function)
         assert len(prediction.execution_times_ms) == 6
+
+    def test_train_keeps_table_and_dataset_views_coherent(self, small_dataset):
+        pipeline = SizelessPipeline(
+            PipelineConfig(n_training_functions=30, invocations_per_size=8, network=TINY_NET)
+        )
+        pipeline.train(small_dataset)
+        assert pipeline.table is not None
+        assert pipeline.dataset is small_dataset
+        # Training accepts the columnar table directly; the object view is
+        # then materialized lazily from it.
+        pipeline.train(small_dataset.to_table())
+        assert pipeline.dataset.function_names == small_dataset.function_names
+        # Assigning one view updates (or clears) the other.
+        pipeline.dataset = None
+        assert pipeline.table is None
+        assert pipeline.dataset is None
+        pipeline.dataset = small_dataset
+        assert pipeline.table is not None
+        assert len(pipeline.table) == len(small_dataset)
 
     def test_recommend_before_training_raises(self, cpu_function):
         pipeline = SizelessPipeline(PipelineConfig(network=TINY_NET))

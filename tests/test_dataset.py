@@ -8,7 +8,7 @@ from repro.errors import ConfigurationError, DatasetError
 from repro.dataset.generation import DatasetGenerationConfig, TrainingDatasetGenerator
 from repro.dataset.harness import HarnessConfig, MeasurementHarness
 from repro.dataset.io import load_dataset_json, save_dataset_csv, save_dataset_json
-from repro.dataset.schema import FunctionMeasurement, MeasurementDataset
+from repro.dataset.schema import MeasurementDataset
 from repro.workloads.loadgen import Workload
 
 

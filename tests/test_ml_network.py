@@ -63,7 +63,6 @@ class TestNeuralNetwork:
     def test_deterministic_given_seed(self):
         x, y = _toy_regression()
         config = NetworkConfig(n_layers=2, n_neurons=16, epochs=20, loss="mse", seed=7)
-        pred_a = NeuralNetwork(config).fit(x, y) and NeuralNetwork(config).fit(x, y)
         net_a, net_b = NeuralNetwork(config), NeuralNetwork(config)
         net_a.fit(x, y)
         net_b.fit(x, y)
