@@ -29,7 +29,7 @@ from repro.errors import ConfigurationError
 from repro.monitoring.aggregation import STAT_NAMES, MonitoringSummary
 from repro.monitoring.metrics import METRIC_NAMES
 from repro.dataset.schema import FunctionMeasurement
-from repro.dataset.table import MeasurementTable, MeasurementTableBuilder
+from repro.dataset.table import MeasurementTableBuilder, measurement_stat_block
 from repro.simulation.engine import ExecutionBackend, available_backends, get_backend
 from repro.simulation.platform import PlatformConfig, ServerlessPlatform
 from repro.workloads.function import FunctionSpec
@@ -195,8 +195,9 @@ class MeasurementHarness:
         progress_callback=None,
         description: str = "",
         metadata: dict[str, object] | None = None,
-    ) -> MeasurementTable:
-        """Measure a list of functions into a columnar :class:`MeasurementTable`.
+        sink=None,
+    ):
+        """Measure a list of functions into a columnar measurement table.
 
         The array-first counterpart of :meth:`measure_many`: for the
         sequential backends each (function, size) batch flows from the engine
@@ -204,6 +205,15 @@ class MeasurementHarness:
         that override function scheduling (the parallel backend) measure
         through their object path and are columnarized afterwards — the
         numbers are identical either way.
+
+        ``sink`` selects where the stat blocks land.  By default a fresh
+        :class:`~repro.dataset.table.MeasurementTableBuilder` collects them
+        into an in-memory table; passing a
+        :class:`~repro.dataset.sharding.ShardedTableWriter` (or any object
+        with the same ``add_function`` / ``build`` surface) streams them out
+        of core instead, in which case the writer's own description/metadata
+        apply and this method's ``description`` / ``metadata`` arguments are
+        ignored.  Returns whatever ``sink.build()`` returns.
         """
         memory_sizes = tuple(
             int(size)
@@ -211,30 +221,64 @@ class MeasurementHarness:
                 memory_sizes_mb if memory_sizes_mb is not None else self.config.memory_sizes_mb
             )
         )
+        if sink is None:
+            sink = MeasurementTableBuilder(
+                memory_sizes_mb=memory_sizes, description=description, metadata=metadata
+            )
+        else:
+            # Stat-block rows are produced in measure order; a sink expecting
+            # a different size order would silently swap columns.
+            sink_sizes = tuple(getattr(sink, "input_memory_sizes_mb", memory_sizes))
+            if sink_sizes != memory_sizes:
+                raise ConfigurationError(
+                    f"sink expects memory sizes {sink_sizes}, harness measures "
+                    f"{memory_sizes}"
+                )
         overridden = (
             type(self.backend).measure_functions is not ExecutionBackend.measure_functions
         )
         if overridden:
-            measurements = self.measure_many(
-                functions,
-                memory_sizes_mb=memory_sizes,
-                workload=workload,
-                progress_callback=progress_callback,
-            )
-            return MeasurementTable.from_measurements(
-                measurements,
-                memory_sizes_mb=memory_sizes,
-                description=description,
-                metadata=metadata,
-            )
-        builder = MeasurementTableBuilder(
-            memory_sizes_mb=memory_sizes, description=description, metadata=metadata
-        )
+            # Scheduling backends return whole FunctionMeasurement lists, so
+            # a sharding sink would otherwise see the entire run materialized
+            # at once.  Chunk the run by the sink's shard size instead —
+            # backends seed by absolute index (index_offset), so the chunked
+            # numbers equal the single-call numbers — keeping the peak at one
+            # shard's worth of measurement objects.  The parallel backend
+            # starts a fresh worker pool per chunk; on fork-based platforms
+            # that is milliseconds, and a shard is large enough to amortize
+            # it elsewhere.
+            chunk_size = int(getattr(sink, "shard_size", 0) or len(functions) or 1)
+            for chunk_start in range(0, len(functions), chunk_size):
+                chunk = functions[chunk_start : chunk_start + chunk_size]
+                measurements = self.backend.measure_functions(
+                    self,
+                    chunk,
+                    memory_sizes_mb=memory_sizes,
+                    workload=workload,
+                    progress_callback=(
+                        None
+                        if progress_callback is None
+                        else lambda done, _total, name, base=chunk_start: (
+                            progress_callback(base + done, len(functions), name)
+                        )
+                    ),
+                    index_offset=chunk_start,
+                )
+                for measurement in measurements:
+                    stats, counts = measurement_stat_block(measurement, memory_sizes)
+                    sink.add_function(
+                        measurement.function_name,
+                        application=measurement.application,
+                        segments=measurement.segments,
+                        stats=stats,
+                        counts=counts,
+                    )
+            return sink.build()
         for index, function in enumerate(functions):
             stats, counts = self.measure_function_stats(
                 function, memory_sizes_mb=memory_sizes, workload=workload
             )
-            builder.add_function(
+            sink.add_function(
                 function.name,
                 application=function.application,
                 segments=function.segments,
@@ -243,7 +287,7 @@ class MeasurementHarness:
             )
             if progress_callback is not None:
                 progress_callback(index + 1, len(functions), function.name)
-        return builder.build()
+        return sink.build()
 
     # ------------------------------------------------------------------ internal
     def _run_batch_at_size(

@@ -228,8 +228,17 @@ class ExecutionBackend(abc.ABC):
         memory_sizes_mb: tuple[int, ...] | None = None,
         workload: "Workload | None" = None,
         progress_callback: Callable[[int, int, str], None] | None = None,
+        index_offset: int = 0,
     ):
-        """Measure a list of functions through a harness (sequential default)."""
+        """Measure a list of functions through a harness (sequential default).
+
+        ``index_offset`` is the absolute position of ``functions[0]`` within
+        the overall measurement run.  Backends that derive per-function seeds
+        from that position (the parallel backend) honour it so that
+        measuring a long list in chunks reproduces the single-call results
+        exactly; the sequential default threads one shared random stream and
+        ignores it.
+        """
         measurements = []
         for index, function in enumerate(functions):
             measurements.append(
@@ -254,7 +263,7 @@ def register_backend(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
 
 
 def available_backends() -> list[str]:
-    """Sorted names of all registered execution backends."""
+    """Return the sorted names of all registered execution backends."""
     return sorted(_BACKENDS)
 
 

@@ -82,6 +82,7 @@ class ParallelBackend(ExecutionBackend):
         memory_sizes_mb=None,
         workload=None,
         progress_callback=None,
+        index_offset=0,
     ):
         """Measure every function on its own derived-seed platform.
 
@@ -92,7 +93,10 @@ class ParallelBackend(ExecutionBackend):
         platform queries on the parent see no deployments.  Because of the
         per-function seeding, ``measure_many([f])[0]`` is reproducible across
         worker counts but differs from ``measure_function(f)``, which runs on
-        the parent platform's shared random stream.
+        the parent platform's shared random stream.  Seeds derive from each
+        function's *absolute* index (``index_offset`` + position), so a
+        chunked caller (the harness streaming into a sharded sink) gets the
+        same numbers as a single call over the whole list.
         """
         if not functions:
             return []
@@ -107,11 +111,13 @@ class ParallelBackend(ExecutionBackend):
                     harness.config,
                     backend="vectorized",
                     n_workers=None,
-                    seed=harness.config.seed + _SEED_STRIDE * (index + 1),
+                    seed=harness.config.seed
+                    + _SEED_STRIDE * (index_offset + index + 1),
                 ),
                 replace(
                     platform.config,
-                    seed=platform.config.seed + _SEED_STRIDE * (index + 1),
+                    seed=platform.config.seed
+                    + _SEED_STRIDE * (index_offset + index + 1),
                 ),
                 platform.execution_model,
                 platform.cold_start_model,

@@ -346,6 +346,19 @@ class TestPersistence:
         with pytest.raises(DatasetError, match="metric order"):
             load_table_npz(path)
 
+    def test_npz_missing_keys_raise_typed_error(self, small_table, tmp_path):
+        # A structurally valid NPZ lacking required keys must raise the
+        # repo's DatasetError naming the missing keys, not a bare KeyError.
+        for dropped in ("values", "function_names", "metadata_json"):
+            path = tmp_path / f"missing-{dropped}.npz"
+            save_table_npz(small_table, path)
+            with np.load(path, allow_pickle=False) as archive:
+                arrays = {k: v for k, v in archive.items() if k != dropped}
+            with path.open("wb") as handle:
+                np.savez_compressed(handle, **arrays)
+            with pytest.raises(DatasetError, match=f"missing keys.*{dropped}"):
+                load_table_npz(path)
+
     def test_corrupt_files_raise(self, tmp_path):
         garbage = tmp_path / "garbage"
         garbage.write_bytes(b"\x00\x01not a dataset\xff")

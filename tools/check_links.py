@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Markdown link checker for intra-repository references.
+
+Scans markdown files for ``[text](target)`` links and verifies that every
+relative target resolves to an existing file (and, for ``file.md#anchor``
+links, that the anchor matches a heading of the target file, using GitHub's
+slug rules).  External links (``http(s)://``, ``mailto:``) are skipped —
+the checker must work offline and stay deterministic in CI.
+
+Usage::
+
+    python tools/check_links.py README.md docs
+
+Directories are scanned recursively for ``*.md``.  Exits non-zero and lists
+every dead link when any target is missing.  The CI ``docs`` job runs this
+over ``README.md`` and ``docs/``; ``tests/test_docs_links.py`` runs the same
+check in the test suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+_INLINE_CODE_RE = re.compile(r"`[^`\n]*`")
+
+
+def strip_code(text: str) -> str:
+    """Remove fenced blocks and inline code spans (links there are examples)."""
+    text = _FENCE_RE.sub("", text)
+    return _INLINE_CODE_RE.sub("", text)
+
+
+def github_slug(heading: str) -> str:
+    """Approximate GitHub's heading-to-anchor slug algorithm."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"`([^`]*)`", r"\1", slug)  # drop code-span backticks
+    slug = re.sub(r"[^\w\s-]", "", slug, flags=re.UNICODE)
+    return re.sub(r"\s", "-", slug)
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """Return the anchor slugs of every heading in a markdown file.
+
+    Repeated headings get GitHub's ``-1``, ``-2``, ... de-duplication
+    suffixes, so both ``#example`` and ``#example-1`` resolve when a
+    heading occurs twice.
+    """
+    text = _FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    for match in _HEADING_RE.finditer(text):
+        slug = github_slug(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def iter_links(text: str):
+    """Yield link targets found in markdown text (code stripped)."""
+    for match in _LINK_RE.finditer(strip_code(text)):
+        yield match.group(1)
+
+
+def check_file(path: Path, repo_root: Path) -> list[str]:
+    """Return a list of dead-link descriptions for one markdown file."""
+    errors: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    for target in iter_links(text):
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        raw_path, _, fragment = target.partition("#")
+        if raw_path:
+            if raw_path.startswith("/"):
+                resolved = repo_root / raw_path.lstrip("/")
+            else:
+                resolved = (path.parent / raw_path).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}: dead link {target!r} (missing {resolved})")
+                continue
+        else:
+            resolved = path
+        if fragment and resolved.suffix == ".md" and resolved.is_file():
+            if github_slug(fragment) not in heading_slugs(resolved):
+                errors.append(
+                    f"{path}: dead anchor {target!r} (no heading #{fragment} "
+                    f"in {resolved})"
+                )
+    return errors
+
+
+def collect_markdown(arguments: list[str]) -> list[Path]:
+    """Expand file/directory arguments into a sorted list of markdown files."""
+    files: set[Path] = set()
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.update(path.rglob("*.md"))
+        else:
+            files.add(path)
+    return sorted(files)
+
+
+def main(argv: list[str]) -> int:
+    """Check every given file/directory; return 1 when dead links exist."""
+    targets = collect_markdown(argv or ["README.md", "docs"])
+    if not targets:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    repo_root = Path(__file__).resolve().parent.parent
+    errors: list[str] = []
+    for path in targets:
+        if not path.exists():
+            errors.append(f"{path}: file does not exist")
+            continue
+        errors.extend(check_file(path, repo_root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(targets)} files: {len(errors)} dead links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
