@@ -1,0 +1,94 @@
+"""Benchmark: fleet rightsizing service throughput and memory bound.
+
+Measures how fast the continuous observe -> batch-predict -> resize loop
+advances a 300-function fleet (windows/second and invocations/second), and
+asserts the subsystem's memory contract: peak traced memory of a multi-window
+run stays within a small multiple of ONE window's stat arrays — the run must
+not accumulate per-window state, whatever its length.
+
+Like ``test_bench_generation`` this module ignores ``REPRO_BENCH_SCALE`` for
+the memory assertion (the bound is defined at a fixed fleet size); the
+ceiling can be loosened on noisy interpreters via
+``REPRO_BENCH_FLEET_MEM_FACTOR`` (a multiplier, default 1).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.core.predictor import SizelessPredictor
+from repro.fleet import ControllerConfig, FleetConfig, FleetRightsizingService, FleetSimulator
+from repro.monitoring.aggregation import STAT_NAMES
+from repro.monitoring.metrics import METRIC_NAMES
+from repro.workloads.generator import GeneratorConfig, SyntheticFunctionGenerator
+from repro.workloads.traffic import sample_fleet_traffic
+
+N_FUNCTIONS = 300
+N_WINDOWS = 8
+WINDOW_S = 3600.0
+
+#: Bytes of one window's dense stat array (functions x metrics x stats).
+_WINDOW_STATS_NBYTES = N_FUNCTIONS * len(METRIC_NAMES) * len(STAT_NAMES) * 8
+
+
+def _mem_factor() -> float:
+    return float(os.environ.get("REPRO_BENCH_FLEET_MEM_FACTOR", "1"))
+
+
+def _build_service(context) -> FleetRightsizingService:
+    predictor = SizelessPredictor(
+        context.model(context.scale.default_base_size_mb), pricing=context.pricing
+    )
+    functions = SyntheticFunctionGenerator(
+        config=GeneratorConfig(seed=77, name_prefix="bench-fleet")
+    ).generate(N_FUNCTIONS)
+    traffic = sample_fleet_traffic(N_FUNCTIONS, seed=78, mean_rate_range=(0.005, 0.02))
+    simulator = FleetSimulator(
+        functions,
+        traffic,
+        FleetConfig(window_s=WINDOW_S, backend="vectorized", seed=79),
+    )
+    return FleetRightsizingService(
+        simulator,
+        predictor,
+        controller_config=ControllerConfig(min_windows=2, min_invocations=40),
+    )
+
+
+def test_bench_fleet_throughput_and_memory(warm_context):
+    service = _build_service(warm_context)
+
+    tracemalloc.start()
+    start = time.perf_counter()
+    report = service.run(N_WINDOWS)
+    seconds = time.perf_counter() - start
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    invocations = report.ledger.total_invocations
+    print()
+    print(
+        f"fleet service: {N_FUNCTIONS} functions x {N_WINDOWS} windows in "
+        f"{seconds:.2f} s = {N_WINDOWS / seconds:.2f} windows/s, "
+        f"{invocations / seconds:,.0f} simulated invocations/s"
+    )
+    print(
+        f"peak traced memory: {peak_bytes / 1e6:.2f} MB "
+        f"(one window's stats: {_WINDOW_STATS_NBYTES / 1e6:.2f} MB); "
+        f"resizes: {report.n_resizes} (+{report.n_rollbacks} rollbacks), "
+        f"realized speedup: {report.ledger.speedup_percent():+.1f} %"
+    )
+
+    assert report.n_windows == N_WINDOWS
+    assert invocations > 0
+    # The service must finish at a usable pace even on shared CI runners.
+    assert N_WINDOWS / seconds > 0.1
+    # Memory contract: the run holds one window's arrays plus fleet state,
+    # never the whole run's history.  The stat arrays of all processed
+    # windows would already exceed this ceiling at 24+ windows; the bound is
+    # deliberately independent of N_WINDOWS.
+    assert peak_bytes < 20 * _WINDOW_STATS_NBYTES * _mem_factor()

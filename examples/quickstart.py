@@ -13,6 +13,8 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from repro import MEMORY_SIZES_MB
 from repro.core import PipelineConfig, SizelessPipeline
 from repro.simulation.profile import ResourceProfile, ServiceCall
@@ -20,9 +22,11 @@ from repro.workloads.function import FunctionSpec
 
 
 def main() -> None:
+    # REPRO_EXAMPLE_SCALE=ci shrinks the run for the CI smoke job.
+    ci_scale = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "ci"
     config = PipelineConfig(
-        n_training_functions=150,
-        invocations_per_size=20,
+        n_training_functions=60 if ci_scale else 150,
+        invocations_per_size=12 if ci_scale else 20,
         base_memory_sizes_mb=(256,),
         seed=7,
         backend="vectorized",  # numpy batch engine; try "parallel" or "serial"

@@ -1,0 +1,113 @@
+"""Fleet rightsizing demo: continuously resize a simulated production fleet.
+
+Trains a small Sizeless model offline, then deploys a fleet of synthetic
+functions at the 256 MB default, serves a day of time-varying traffic
+(diurnal cycles, bursts, ramps) and lets the rightsizing service observe,
+batch-predict and resize the fleet window by window — printing the timeline
+and the realized savings versus leaving everything at the default size.
+
+Run with::
+
+    python examples/run_fleet.py                 # 200 functions, 24 windows
+    python examples/run_fleet.py --smoke         # tiny CI-scale run
+    python examples/run_fleet.py --functions 1000 --hours 48
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.predictor import SizelessPredictor
+from repro.core.training import train_model
+from repro.dataset.generation import DatasetGenerationConfig, TrainingDatasetGenerator
+from repro.fleet import ControllerConfig, FleetConfig, FleetRightsizingService, FleetSimulator
+from repro.ml.network import NetworkConfig
+from repro.workloads.generator import GeneratorConfig, SyntheticFunctionGenerator
+from repro.workloads.traffic import sample_fleet_traffic
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--functions", type=int, default=200, help="fleet size")
+    parser.add_argument("--hours", type=int, default=24, help="virtual hours to simulate")
+    parser.add_argument("--tradeoff", type=float, default=0.75, help="cost/perf trade-off t")
+    parser.add_argument("--seed", type=int, default=7, help="master seed")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fast run (CI smoke test: 40 functions, 8 windows)",
+    )
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    n_functions = 40 if args.smoke else args.functions
+    n_windows = 8 if args.smoke else args.hours
+    n_training = 40 if args.smoke else 120
+
+    print(f"Offline phase: training on {n_training} synthetic functions ...")
+    table = TrainingDatasetGenerator(
+        DatasetGenerationConfig(
+            n_functions=n_training,
+            invocations_per_size=10 if args.smoke else 20,
+            seed=args.seed,
+            backend="vectorized",
+        )
+    ).generate_table()
+    model = train_model(
+        table,
+        base_memory_mb=256,
+        network_config=NetworkConfig(
+            n_layers=2, n_neurons=48, epochs=150 if args.smoke else 300,
+            learning_rate=0.01, loss="mse", l2=0.0001, seed=0,
+        ),
+    )
+    predictor = SizelessPredictor(model, default_tradeoff=args.tradeoff)
+
+    print(f"Deploying a fleet of {n_functions} functions at 256 MB ...")
+    functions = SyntheticFunctionGenerator(
+        config=GeneratorConfig(seed=args.seed + 1, name_prefix="fleet")
+    ).generate(n_functions)
+    traffic = sample_fleet_traffic(
+        n_functions, seed=args.seed + 2, mean_rate_range=(0.01, 0.05)
+    )
+    simulator = FleetSimulator(
+        functions, traffic, FleetConfig(window_s=3600.0, seed=args.seed + 3)
+    )
+    service = FleetRightsizingService(
+        simulator,
+        predictor,
+        controller_config=ControllerConfig(
+            tradeoff=args.tradeoff,
+            min_windows=2 if args.smoke else 3,
+            min_invocations=30 if args.smoke else 50,
+        ),
+    )
+
+    print(f"Serving {n_windows} one-hour monitoring windows:\n")
+    print(f"{'window':>6} {'invocations':>12} {'cost USD':>10} {'resizes':>8} {'rollbacks':>10}")
+
+    def progress(done: int, total: int, account) -> None:
+        print(
+            f"{account.window_index:>6} {account.invocations:>12} "
+            f"{account.actual_cost_usd:>10.4f} {account.resizes:>8} {account.rollbacks:>10}"
+        )
+
+    report = service.run(n_windows, progress_callback=progress)
+
+    print("\nFinal deployment mix (MB -> functions):")
+    for size, count in sorted(report.size_histogram().items()):
+        print(f"  {size:>5d} MB : {count}")
+    summary = report.ledger.summary()
+    print(
+        f"\nRealized vs all-at-256-MB default over {report.n_windows} windows "
+        f"({int(summary['total_invocations'])} invocations):"
+    )
+    print(f"  cost savings : {summary['cost_savings_percent']:+6.1f} %")
+    print(f"  speedup      : {summary['speedup_percent']:+6.1f} %")
+    print(f"  resizes      : {report.n_resizes} (+{report.n_rollbacks} rollbacks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,9 @@ paper *"Sizeless: Predicting the Optimal Size of Serverless Functions"*
 - ``repro.core``        -- the paper's contribution: feature engineering,
   multi-target regression model, memory-size optimizer and the end-to-end
   ``SizelessPredictor`` API.
+- ``repro.fleet``       -- the production fleet: trace-driven simulation of
+  hundreds of deployed functions under time-varying traffic, continuously
+  rightsized via the batch prediction API with savings accounting.
 - ``repro.baselines``   -- Power-Tuning, COSE-style, and BATCH-style baselines.
 - ``repro.experiments`` -- one module per table/figure of the evaluation.
 

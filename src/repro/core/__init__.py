@@ -32,10 +32,15 @@ from repro.core.features import (
 )
 from repro.core.feature_selection import SelectionRound, SequentialForwardSelection
 from repro.core.model import SizelessModel, SizelessModelConfig, default_network_config
-from repro.core.optimizer import MemoryRecommendation, MemorySizeOptimizer, TradeoffConfig
+from repro.core.optimizer import (
+    MatrixRecommendation,
+    MemoryRecommendation,
+    MemorySizeOptimizer,
+    TradeoffConfig,
+)
 from repro.core.partial_dependence import PartialDependence, partial_dependence
 from repro.core.pipeline import PipelineConfig, SizelessPipeline
-from repro.core.predictor import SizelessPredictor
+from repro.core.predictor import BatchPrediction, PredictionResult, SizelessPredictor
 from repro.core.training import (
     TrainingMatrices,
     build_training_matrices,
@@ -64,8 +69,11 @@ __all__ = [
     "partial_dependence",
     "MemorySizeOptimizer",
     "MemoryRecommendation",
+    "MatrixRecommendation",
     "TradeoffConfig",
     "SizelessPredictor",
+    "BatchPrediction",
+    "PredictionResult",
     "SizelessPipeline",
     "PipelineConfig",
 ]

@@ -186,6 +186,46 @@ class SizelessModel:
             times[int(target_size)] = float(base_time * ratio)
         return dict(sorted(times.items()))
 
+    @property
+    def all_memory_sizes_mb(self) -> tuple[int, ...]:
+        """Base and target sizes sorted ascending (prediction column order)."""
+        return tuple(
+            sorted((int(self.config.base_memory_mb), *self.config.target_memory_sizes_mb))
+        )
+
+    def predict_times_matrix(
+        self, features: np.ndarray, base_times_ms: np.ndarray
+    ) -> np.ndarray:
+        """Predict execution times for a whole feature matrix in one pass.
+
+        The batch counterpart of :meth:`predict_execution_times`: one network
+        forward pass over all rows, one broadcast multiply against the
+        monitored base execution times — no per-function Python loop.
+        Returns a ``(n_functions, n_sizes)`` matrix with columns ordered as
+        :attr:`all_memory_sizes_mb`; the base-size column carries the
+        *observed* base times unchanged (paper Section 3.5), exactly like the
+        scalar path.  Numbers are bit-identical to the scalar path row by row
+        (asserted by the test suite): the network evaluates the same
+        elementwise pipeline and the time reconstruction performs the same
+        ``base_time * ratio`` multiply.
+        """
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ModelError("features must be a (n_functions, n_features) matrix")
+        base_times = np.asarray(base_times_ms, dtype=float)
+        if base_times.shape != (features.shape[0],):
+            raise ModelError("base_times_ms must have one entry per feature row")
+        if np.any(~np.isfinite(base_times)) or np.any(base_times <= 0):
+            raise ModelError("base execution times must be positive and finite")
+        ratios = self.predict_ratios(features)
+        sizes = self.all_memory_sizes_mb
+        column = {size: j for j, size in enumerate(sizes)}
+        times = np.empty((features.shape[0], len(sizes)), dtype=float)
+        times[:, column[int(self.config.base_memory_mb)]] = base_times
+        for j, target_size in enumerate(self.config.target_memory_sizes_mb):
+            times[:, column[int(target_size)]] = base_times * ratios[:, j]
+        return times
+
     # ----------------------------------------------------------- persistence
     def get_state(self) -> dict[str, object]:
         """Return a serialisable snapshot of the trained model."""

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import OptimizationError
 from repro.simulation.pricing import PricingModel
 
@@ -80,6 +82,77 @@ class MemoryRecommendation:
     def selected_cost_usd(self) -> float:
         """Cost per execution at the recommended size."""
         return self.costs_usd[self.selected_memory_mb]
+
+
+@dataclass(frozen=True)
+class MatrixRecommendation:
+    """Vectorized optimization outcome for a whole fleet of functions.
+
+    The array counterpart of :class:`MemoryRecommendation`: one row per
+    function, one column per candidate memory size (ascending).  Numbers are
+    bit-identical to running :meth:`MemorySizeOptimizer.recommend` per row —
+    the same arithmetic is applied elementwise, and the deterministic
+    tie-break (smaller size wins on equal total scores) is realised by
+    ``argmin`` over the ascending size axis.
+
+    Attributes
+    ----------
+    memory_sizes_mb:
+        Column labels (ascending candidate sizes).
+    tradeoff:
+        Trade-off parameter the recommendations were computed with.
+    execution_times_ms / costs_usd:
+        ``(n_functions, n_sizes)`` inputs and per-execution costs.
+    cost_scores / performance_scores / total_scores:
+        The normalised score matrices.
+    selected_index / selected_memory_mb:
+        Per-function argmin column and the corresponding memory size.
+    """
+
+    memory_sizes_mb: tuple[int, ...]
+    tradeoff: float
+    execution_times_ms: np.ndarray
+    costs_usd: np.ndarray
+    cost_scores: np.ndarray
+    performance_scores: np.ndarray
+    total_scores: np.ndarray
+    selected_index: np.ndarray
+    selected_memory_mb: np.ndarray
+
+    @property
+    def n_functions(self) -> int:
+        """Number of recommendation rows."""
+        return int(self.execution_times_ms.shape[0])
+
+    def row(self, index: int) -> MemoryRecommendation:
+        """Materialize the scalar :class:`MemoryRecommendation` view of one row."""
+        totals = {
+            int(size): float(self.total_scores[index, j])
+            for j, size in enumerate(self.memory_sizes_mb)
+        }
+        ranking = tuple(sorted(totals, key=lambda size: (totals[size], size)))
+        return MemoryRecommendation(
+            selected_memory_mb=int(self.selected_memory_mb[index]),
+            tradeoff=self.tradeoff,
+            execution_times_ms={
+                int(size): float(self.execution_times_ms[index, j])
+                for j, size in enumerate(self.memory_sizes_mb)
+            },
+            costs_usd={
+                int(size): float(self.costs_usd[index, j])
+                for j, size in enumerate(self.memory_sizes_mb)
+            },
+            cost_scores={
+                int(size): float(self.cost_scores[index, j])
+                for j, size in enumerate(self.memory_sizes_mb)
+            },
+            performance_scores={
+                int(size): float(self.performance_scores[index, j])
+                for j, size in enumerate(self.memory_sizes_mb)
+            },
+            total_scores=totals,
+            ranking=ranking,
+        )
 
 
 class MemorySizeOptimizer:
@@ -164,6 +237,76 @@ class MemorySizeOptimizer:
             performance_scores=perf_scores,
             total_scores=totals,
             ranking=ranking,
+        )
+
+    def recommend_matrix(
+        self,
+        execution_times_ms: np.ndarray,
+        memory_sizes_mb: tuple[int, ...],
+        tradeoff: float | None = None,
+    ) -> MatrixRecommendation:
+        """Vectorized :meth:`recommend` over a whole fleet at once.
+
+        One matrix pass computes costs, normalised scores and the selected
+        size for every row — no per-function Python loop.  Results are
+        bit-identical to calling :meth:`recommend` row by row (asserted by
+        the test suite): identical elementwise arithmetic, and ``argmin``
+        over the ascending size axis realises the same deterministic
+        tie-break (smaller memory size wins on equal ``S_total``), which
+        keeps fleet hysteresis decisions reproducible regardless of which
+        execution backend produced the measurements.
+
+        Parameters
+        ----------
+        execution_times_ms:
+            ``(n_functions, n_sizes)`` predicted/measured execution times,
+            columns ordered as ``memory_sizes_mb``.
+        memory_sizes_mb:
+            Candidate sizes (column labels), sorted ascending.
+        tradeoff:
+            Optional trade-off override (defaults to the optimizer's).
+        """
+        times = np.asarray(execution_times_ms, dtype=float)
+        if times.ndim != 2 or times.shape[0] == 0 or times.shape[1] == 0:
+            raise OptimizationError(
+                "execution_times_ms must be a non-empty (n_functions, n_sizes) matrix"
+            )
+        sizes = tuple(int(size) for size in memory_sizes_mb)
+        if len(sizes) != times.shape[1]:
+            raise OptimizationError(
+                f"got {len(sizes)} memory sizes for {times.shape[1]} time columns"
+            )
+        if any(size <= 0 for size in sizes):
+            raise OptimizationError("memory sizes must be positive")
+        if tuple(sorted(sizes)) != sizes or len(set(sizes)) != len(sizes):
+            raise OptimizationError(
+                "memory_sizes_mb must be sorted ascending without duplicates "
+                "(the tie-break relies on column order)"
+            )
+        if np.any(~np.isfinite(times)) or np.any(times <= 0):
+            raise OptimizationError("execution times must be positive and finite")
+        t = self._resolve_tradeoff(tradeoff)
+
+        costs = np.empty_like(times)
+        for j, size in enumerate(sizes):  # six columns, not a per-function loop
+            costs[:, j] = self.pricing.execution_cost_batch(times[:, j], size)
+        cost_scores = costs / costs.min(axis=1, keepdims=True)
+        perf_scores = times / times.min(axis=1, keepdims=True)
+        totals = t * cost_scores + (1.0 - t) * perf_scores
+        # argmin returns the FIRST minimum; with ascending columns that is the
+        # smaller size — the same deterministic tie-break as recommend().
+        selected_index = np.argmin(totals, axis=1)
+        sizes_array = np.asarray(sizes, dtype=int)
+        return MatrixRecommendation(
+            memory_sizes_mb=sizes,
+            tradeoff=t,
+            execution_times_ms=times,
+            costs_usd=costs,
+            cost_scores=cost_scores,
+            performance_scores=perf_scores,
+            total_scores=totals,
+            selected_index=selected_index,
+            selected_memory_mb=sizes_array[selected_index],
         )
 
     def select(

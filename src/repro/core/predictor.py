@@ -5,15 +5,34 @@ with the memory-size optimizer.  Given the monitoring summary of a production
 function collected at a single memory size, it predicts the execution time at
 every other size and recommends the optimal size for a chosen cost/performance
 trade-off — the complete online phase of paper Figure 2.
+
+Two call surfaces expose the same numbers:
+
+- the *scalar* path (:meth:`SizelessPredictor.predict` /
+  :meth:`SizelessPredictor.recommend`) consumes one
+  :class:`~repro.monitoring.aggregation.MonitoringSummary` at a time;
+- the *batch* path (:meth:`SizelessPredictor.predict_table` /
+  :meth:`SizelessPredictor.recommend_table`) consumes a whole columnar
+  measurement table and predicts every function in one matrix pass — the
+  hot path of the fleet rightsizing controller (:mod:`repro.fleet`), which
+  sizes hundreds of functions per monitoring window.  Batch numbers are
+  bit-identical to the scalar path (asserted by the test suite).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ModelError
 from repro.core.model import SizelessModel
-from repro.core.optimizer import MemoryRecommendation, MemorySizeOptimizer, TradeoffConfig
+from repro.core.optimizer import (
+    MatrixRecommendation,
+    MemoryRecommendation,
+    MemorySizeOptimizer,
+    TradeoffConfig,
+)
 from repro.monitoring.aggregation import MonitoringSummary
 from repro.simulation.pricing import PricingModel
 
@@ -35,6 +54,45 @@ class PredictionResult:
     function_name: str
     base_memory_mb: int
     execution_times_ms: dict[int, float]
+
+
+@dataclass(frozen=True)
+class BatchPrediction:
+    """Execution-time predictions for a whole batch of functions.
+
+    Attributes
+    ----------
+    function_names:
+        The predicted functions, in row order.
+    base_memory_mb:
+        Memory size the monitoring data was collected at.
+    memory_sizes_mb:
+        Column labels of the prediction matrix (ascending, includes the base).
+    execution_times_ms:
+        ``(n_functions, n_sizes)`` predicted times; the base column carries
+        the observed base execution times.
+    """
+
+    function_names: tuple[str, ...]
+    base_memory_mb: int
+    memory_sizes_mb: tuple[int, ...]
+    execution_times_ms: np.ndarray
+
+    @property
+    def n_functions(self) -> int:
+        """Number of predicted functions."""
+        return len(self.function_names)
+
+    def row(self, index: int) -> PredictionResult:
+        """Materialize the scalar :class:`PredictionResult` view of one row."""
+        return PredictionResult(
+            function_name=self.function_names[index],
+            base_memory_mb=self.base_memory_mb,
+            execution_times_ms={
+                int(size): float(self.execution_times_ms[index, j])
+                for j, size in enumerate(self.memory_sizes_mb)
+            },
+        )
 
 
 class SizelessPredictor:
@@ -106,3 +164,102 @@ class SizelessPredictor:
             summary.function_name: self.recommend(summary, tradeoff=tradeoff)
             for summary in summaries
         }
+
+    # ------------------------------------------------------------------ batch
+    def _resolve_base_size(self, base_memory_mb: int | None) -> int:
+        """Resolve the base size for batch calls (must be unambiguous)."""
+        if base_memory_mb is not None:
+            return int(base_memory_mb)
+        if len(self._models) == 1:
+            return next(iter(self._models))
+        raise ModelError(
+            "base_memory_mb is required when several base-size models are "
+            f"registered (available: {self.base_memory_sizes_mb})"
+        )
+
+    def predict_table(
+        self,
+        table,
+        base_memory_mb: int | None = None,
+        function_indices=None,
+    ) -> BatchPrediction:
+        """Predict execution times for every function of a measurement table.
+
+        The whole-fleet batch path: features are extracted from the table's
+        stat arrays in one vectorized pass
+        (:meth:`~repro.core.features.FeatureExtractor.extract_table`), the
+        network predicts all rows in one forward pass, and the observed base
+        execution times are read off the same stat blocks — no per-function
+        Python loop anywhere.  Row ``i`` of the result is bit-identical to
+        :meth:`predict` on the corresponding
+        :class:`~repro.monitoring.aggregation.MonitoringSummary`.
+
+        Parameters
+        ----------
+        table:
+            A :class:`~repro.dataset.table.MeasurementTable` (or the sharded
+            sibling) measured at least at the base size.
+        base_memory_mb:
+            Base size whose monitoring data feeds the model; may be omitted
+            when exactly one model is registered.
+        function_indices:
+            Optional row subset of the table's function axis.
+        """
+        base = self._resolve_base_size(base_memory_mb)
+        model = self.model_for(base)
+        size_column = table.size_index(base)
+        if function_indices is None:
+            selected_names = tuple(table.function_names)
+            counts = np.asarray(table.n_invocations[:, size_column])
+        else:
+            indices = np.asarray(function_indices, dtype=int)
+            selected_names = tuple(table.function_names[i] for i in indices)
+            counts = np.asarray(table.n_invocations[indices, size_column])
+        if not selected_names:
+            raise ModelError("predict_table needs at least one function row")
+        if np.any(counts <= 0):
+            missing = [name for name, c in zip(selected_names, counts) if c <= 0]
+            raise ModelError(
+                f"functions {missing} have no monitoring data at {base} MB"
+            )
+        features = model.extractor.extract_table(
+            table, memory_mb=base, function_indices=function_indices
+        )
+        time_index = table.metric_index("execution_time")
+        mean_column = table.stat_names.index("mean")
+        base_times = np.concatenate(
+            [
+                block[:, size_column, time_index, mean_column]
+                for block in table.iter_value_blocks(function_indices)
+            ]
+        )
+        times = model.predict_times_matrix(features, base_times)
+        return BatchPrediction(
+            function_names=selected_names,
+            base_memory_mb=base,
+            memory_sizes_mb=model.all_memory_sizes_mb,
+            execution_times_ms=times,
+        )
+
+    def recommend_table(
+        self,
+        table,
+        base_memory_mb: int | None = None,
+        tradeoff: float | None = None,
+        function_indices=None,
+    ) -> tuple[BatchPrediction, MatrixRecommendation]:
+        """Batch-predict a table and optimize every function in one matrix pass.
+
+        Returns the :class:`BatchPrediction` together with the vectorized
+        :class:`~repro.core.optimizer.MatrixRecommendation`; row ``i`` of
+        both is bit-identical to the scalar :meth:`recommend` path.
+        """
+        prediction = self.predict_table(
+            table, base_memory_mb=base_memory_mb, function_indices=function_indices
+        )
+        recommendation = self.optimizer.recommend_matrix(
+            prediction.execution_times_ms,
+            prediction.memory_sizes_mb,
+            tradeoff=tradeoff,
+        )
+        return prediction, recommendation

@@ -17,6 +17,8 @@ Module                Paper artefact
 ``tables4_7_prediction_error``Tables 4-7 — relative prediction error per function
 ``figure7_selection_rank``    Figure 7 — rank of the selected memory size
 ``table8_savings``            Table 8 — cost savings and speedup per application
+``fleet_savings``             Extra — longitudinal Table 8: realized savings of
+                              the continuous fleet rightsizing service
 ``ablations``                 Extra — baseline comparison and sensitivity studies
 ====================  =====================================================
 

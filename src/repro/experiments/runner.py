@@ -22,6 +22,7 @@ from repro.experiments import (
     figure5_partial_dependence,
     figure6_predictions,
     figure7_selection_rank,
+    fleet_savings,
     table2_hyperparameters,
     table3_basesize,
     table8_savings,
@@ -76,6 +77,11 @@ def run_all(scale: ExperimentScale | None = None, include_slow: bool = True) -> 
     results["table8"] = table8_savings.run(context)
     if include_slow:
         results["ablations"] = ablations.run(context)
+    # Longitudinal Table 8: the continuous fleet rightsizing service (kept
+    # below acceptance-test scale so the runner stays fast at every scale).
+    results["fleet"] = fleet_savings.run(
+        context, n_functions=200, n_windows=12, window_s=7200.0
+    )
     return results
 
 
@@ -167,6 +173,20 @@ def print_report(results: dict[str, Any]) -> None:
             for row in results["ablations"].baseline_comparison
         ]
         print(format_table(rows, "Ablation - baseline comparison"))
+    if "fleet" in results:
+        fleet = results["fleet"]
+        rows = [
+            {
+                "functions": fleet.n_functions,
+                "windows": fleet.n_windows,
+                "invocations": fleet.total_invocations,
+                "resizes": fleet.n_resizes,
+                "rollbacks": fleet.n_rollbacks,
+                "cost_savings_%": fleet.cost_savings_percent,
+                "speedup_%": fleet.speedup_percent,
+            }
+        ]
+        print(format_table(rows, "Fleet - realized longitudinal savings (t = 0.75)"))
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,0 +1,322 @@
+"""Trace-driven simulation of a production fleet of deployed functions.
+
+The offline harness (:mod:`repro.dataset.harness`) measures functions one at
+a time, at every memory size, under a constant-rate workload — the paper's
+controlled measurement protocol.  Production looks different: hundreds to
+thousands of functions are deployed *simultaneously*, each at exactly one
+memory size, serving time-varying traffic around the clock.
+
+:class:`FleetSimulator` models that production side.  It deploys a whole
+fleet on one :class:`~repro.simulation.platform.ServerlessPlatform`, assigns
+every function a :class:`~repro.workloads.traffic.TrafficModel`, and advances
+virtual time in fixed monitoring windows.  Each :meth:`run_window` call
+drives every function's window arrivals through the pluggable execution
+engine (``serial`` / ``vectorized`` / ``parallel`` batches via
+:meth:`~repro.simulation.platform.ServerlessPlatform.invoke_batch`) and
+reduces each batch straight to its ``(n_metrics, n_stats)`` stat row
+(:meth:`~repro.simulation.engine.BatchResult.aggregate_stats`) — the same
+columnar machinery the measurement tables are built from, with no
+per-invocation or per-summary objects.  The result is one
+:class:`FleetWindow` of dense per-function monitoring arrays, which the
+rightsizing controller (:mod:`repro.fleet.controller`) consumes.
+
+Memory stays bounded by one window: batch columns are transient, per-function
+records are discarded from the platform log after aggregation, and the
+simulator retains only the fleet's current deployment state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.monitoring.aggregation import STAT_NAMES
+from repro.monitoring.metrics import METRIC_NAMES
+from repro.simulation.engine import ExecutionBackend, available_backends, get_backend
+from repro.simulation.platform import PlatformConfig, ServerlessPlatform
+from repro.workloads.function import FunctionSpec
+from repro.workloads.traffic import TrafficModel
+
+#: Stat-axis column of the mean (column order of
+#: :data:`~repro.monitoring.aggregation.STAT_NAMES`).
+_MEAN = STAT_NAMES.index("mean")
+
+#: Metric-axis row of the execution time (Table-1 order).
+_EXECUTION_TIME = METRIC_NAMES.index("execution_time")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Configuration of a fleet simulation.
+
+    Attributes
+    ----------
+    window_s:
+        Length of one monitoring window in virtual seconds (one hour by
+        default — the granularity at which CloudWatch-style monitoring is
+        typically aggregated).
+    default_memory_mb:
+        Memory size every function is initially deployed with (the paper's
+        256 MB default deployment that Table 8 measures savings against).
+    memory_sizes_mb:
+        Sizes the fleet may be resized to (the platform is configured to
+        allow exactly these).
+    backend:
+        Execution backend for the window batches (``"serial"``,
+        ``"vectorized"``, ``"parallel"``).
+    n_workers:
+        Worker count for the parallel backend (ignored otherwise).
+    exclude_cold_starts:
+        Drop cold-start invocations from window aggregation (the monitoring
+        wrapper only measures warm executions).
+    max_arrivals_per_window:
+        Optional per-function cap on simulated arrivals per window; the
+        arrival *pattern* is preserved by uniform subsampling, exactly like
+        the offline harness cap.
+    stream_records:
+        Discard per-invocation records from the platform log after each
+        window (keeps memory bounded; billing totals are preserved).
+    seed:
+        Seed of the platform noise and the traffic sampling stream.
+    """
+
+    window_s: float = 3600.0
+    default_memory_mb: int = 256
+    memory_sizes_mb: tuple[int, ...] = (128, 256, 512, 1024, 2048, 3008)
+    backend: str = "vectorized"
+    n_workers: int | None = None
+    exclude_cold_starts: bool = True
+    max_arrivals_per_window: int | None = None
+    stream_records: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate window geometry, sizes and backend selection."""
+        if not np.isfinite(self.window_s) or self.window_s <= 0:
+            raise ConfigurationError("window_s must be a positive finite number")
+        if not self.memory_sizes_mb:
+            raise ConfigurationError("memory_sizes_mb must not be empty")
+        if any(size <= 0 for size in self.memory_sizes_mb):
+            raise ConfigurationError("memory sizes must be positive")
+        if int(self.default_memory_mb) not in tuple(int(s) for s in self.memory_sizes_mb):
+            raise ConfigurationError("default_memory_mb must be one of memory_sizes_mb")
+        if self.backend not in available_backends():
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; available: {available_backends()}"
+            )
+        if self.max_arrivals_per_window is not None and self.max_arrivals_per_window < 1:
+            raise ConfigurationError("max_arrivals_per_window must be at least 1 when given")
+
+
+@dataclass(frozen=True)
+class FleetWindow:
+    """Columnar monitoring result of one fleet window.
+
+    Attributes
+    ----------
+    index:
+        Zero-based window number.
+    start_s / end_s:
+        Window bounds in virtual seconds.
+    memory_mb:
+        ``(n_functions,)`` size each function was deployed at during the
+        window.
+    stats:
+        ``(n_functions, n_metrics, n_stats)`` aggregated statistics (Table-1
+        metric order, mean/std/cv stat order) of each function at its
+        current size; zero rows mark functions without traffic.
+    n_invocations:
+        ``(n_functions,)`` invocations that survived the aggregation masks.
+    n_arrivals:
+        ``(n_functions,)`` raw arrivals driven through the platform.
+    n_cold_starts:
+        ``(n_functions,)`` cold-started invocations.
+    cost_usd:
+        ``(n_functions,)`` total billed cost of the window.
+    """
+
+    index: int
+    start_s: float
+    end_s: float
+    memory_mb: np.ndarray
+    stats: np.ndarray
+    n_invocations: np.ndarray
+    n_arrivals: np.ndarray
+    n_cold_starts: np.ndarray
+    cost_usd: np.ndarray
+
+    @property
+    def n_functions(self) -> int:
+        """Number of fleet functions covered by the window."""
+        return int(self.memory_mb.shape[0])
+
+    @property
+    def total_invocations(self) -> int:
+        """Fleet-wide invocation count of the window."""
+        return int(np.sum(self.n_invocations))
+
+    @property
+    def total_cost_usd(self) -> float:
+        """Fleet-wide billed cost of the window."""
+        return float(np.sum(self.cost_usd))
+
+    def mean_execution_time_ms(self) -> np.ndarray:
+        """Per-function mean execution time of the window (0 = no traffic)."""
+        return self.stats[:, _EXECUTION_TIME, _MEAN]
+
+
+class FleetSimulator:
+    """Advances a deployed fleet through monitoring windows of virtual time."""
+
+    def __init__(
+        self,
+        functions: list[FunctionSpec],
+        traffic: list[TrafficModel],
+        config: FleetConfig | None = None,
+        platform: ServerlessPlatform | None = None,
+    ) -> None:
+        """Deploy the fleet at the default size and bind its traffic models.
+
+        Parameters
+        ----------
+        functions:
+            The fleet's function specifications (unique names).
+        traffic:
+            One :class:`~repro.workloads.traffic.TrafficModel` per function.
+        config:
+            Fleet configuration (defaults to :class:`FleetConfig`).
+        platform:
+            Optional pre-configured platform; by default one is created that
+            allows exactly the configured memory sizes.
+        """
+        self.config = config if config is not None else FleetConfig()
+        if not functions:
+            raise ConfigurationError("a fleet needs at least one function")
+        if len(traffic) != len(functions):
+            raise ConfigurationError(
+                f"got {len(traffic)} traffic models for {len(functions)} functions"
+            )
+        names = [function.name for function in functions]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("fleet function names must be unique")
+        self.functions = list(functions)
+        self.traffic = list(traffic)
+        if platform is None:
+            platform = ServerlessPlatform(
+                config=PlatformConfig(
+                    allowed_memory_sizes_mb=tuple(
+                        int(s) for s in self.config.memory_sizes_mb
+                    ),
+                    seed=self.config.seed,
+                )
+            )
+        self.platform = platform
+        self.backend: ExecutionBackend = get_backend(
+            self.config.backend, n_workers=self.config.n_workers
+        )
+        self._traffic_rng = np.random.default_rng(self.config.seed + 1)
+        self._clock_s = 0.0
+        self._window_index = 0
+        self._memory_mb = np.full(
+            len(self.functions), int(self.config.default_memory_mb), dtype=int
+        )
+        for function in self.functions:
+            self.platform.deploy(
+                function.name, function.profile, float(self.config.default_memory_mb)
+            )
+
+    # ------------------------------------------------------------------ state
+    @property
+    def n_functions(self) -> int:
+        """Number of functions in the fleet."""
+        return len(self.functions)
+
+    @property
+    def clock_s(self) -> float:
+        """Current virtual time (start of the next window)."""
+        return self._clock_s
+
+    @property
+    def windows_run(self) -> int:
+        """Number of windows simulated so far."""
+        return self._window_index
+
+    def current_memory_mb(self) -> np.ndarray:
+        """Return a copy of the per-function deployed memory sizes."""
+        return self._memory_mb.copy()
+
+    def function_names(self) -> tuple[str, ...]:
+        """Fleet function names in index order."""
+        return tuple(function.name for function in self.functions)
+
+    # ----------------------------------------------------------------- resize
+    def resize(self, function_index: int, memory_mb: int) -> None:
+        """Redeploy one function at a new memory size (drops warm instances)."""
+        memory_mb = int(memory_mb)
+        if memory_mb not in tuple(int(s) for s in self.config.memory_sizes_mb):
+            raise SimulationError(
+                f"memory size {memory_mb} MB not among fleet sizes "
+                f"{list(self.config.memory_sizes_mb)}"
+            )
+        function = self.functions[int(function_index)]
+        self.platform.set_memory_size(
+            function.name, float(memory_mb), at_time_s=self._clock_s
+        )
+        self._memory_mb[int(function_index)] = memory_mb
+
+    # ----------------------------------------------------------------- window
+    def _window_arrivals(self, index: int, start_s: float, end_s: float) -> np.ndarray:
+        """Sample (and optionally cap) one function's window arrivals."""
+        arrivals = self.traffic[index].arrivals(start_s, end_s, self._traffic_rng)
+        cap = self.config.max_arrivals_per_window
+        if cap is not None and arrivals.shape[0] > cap:
+            keep = np.linspace(0, arrivals.shape[0] - 1, cap).astype(int)
+            arrivals = arrivals[keep]
+        return arrivals
+
+    def run_window(self) -> FleetWindow:
+        """Simulate the next monitoring window for the whole fleet.
+
+        Every function's arrivals run as one engine batch; each batch is
+        reduced to its stat row straight from the batch columns.  Functions
+        without traffic produce zero rows (``n_invocations`` 0).
+        """
+        start_s = self._clock_s
+        end_s = start_s + self.config.window_s
+        n = self.n_functions
+        stats = np.zeros((n, len(METRIC_NAMES), len(STAT_NAMES)), dtype=float)
+        n_invocations = np.zeros(n, dtype=np.int64)
+        n_arrivals = np.zeros(n, dtype=np.int64)
+        n_cold = np.zeros(n, dtype=np.int64)
+        cost = np.zeros(n, dtype=float)
+        for i, function in enumerate(self.functions):
+            arrivals = self._window_arrivals(i, start_s, end_s)
+            if arrivals.shape[0] == 0:
+                continue
+            batch = self.platform.invoke_batch(
+                function.name, arrivals, backend=self.backend
+            )
+            stats[i], n_invocations[i] = batch.aggregate_stats(
+                warmup_s=0.0, exclude_cold_starts=self.config.exclude_cold_starts
+            )
+            n_arrivals[i] = batch.n_invocations
+            n_cold[i] = batch.n_cold_starts
+            cost[i] = batch.total_cost_usd
+            if self.config.stream_records:
+                self.platform.discard_function_records(function.name)
+        window = FleetWindow(
+            index=self._window_index,
+            start_s=start_s,
+            end_s=end_s,
+            memory_mb=self._memory_mb.copy(),
+            stats=stats,
+            n_invocations=n_invocations,
+            n_arrivals=n_arrivals,
+            n_cold_starts=n_cold,
+            cost_usd=cost,
+        )
+        self._clock_s = end_s
+        self._window_index += 1
+        return window

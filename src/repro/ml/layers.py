@@ -63,10 +63,19 @@ class DenseLayer:
             raise ModelError(
                 f"expected input of shape (n, {self.n_inputs}), got {x.shape}"
             )
-        preactivation = x @ self.weights + self.biases
         if training:
+            preactivation = x @ self.weights + self.biases
             self._last_input = x
             self._last_preactivation = preactivation
+        else:
+            # Inference uses einsum without contraction optimization: unlike
+            # BLAS GEMM (whose accumulation order depends on the batch shape)
+            # its inner-product kernel computes row i of a batch exactly as
+            # it computes that row alone.  This row-stability is what makes
+            # the fleet batch-prediction API bit-identical to per-function
+            # predictions; training keeps the faster GEMM path, where
+            # row-stability is irrelevant.
+            preactivation = np.einsum("nf,fh->nh", x, self.weights) + self.biases
         return self.activation.forward(preactivation)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -40,6 +40,11 @@ class Workload:
     arrival_process: str = "exponential"
 
     def __post_init__(self) -> None:
+        # NaN compares False against every bound, so validate finiteness
+        # explicitly before the range checks.
+        for name in ("requests_per_second", "duration_s", "warmup_s"):
+            if not np.isfinite(getattr(self, name)):
+                raise ConfigurationError(f"{name} must be a finite number")
         if self.requests_per_second <= 0:
             raise ConfigurationError("requests_per_second must be positive")
         if self.duration_s <= 0:

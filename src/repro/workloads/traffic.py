@@ -1,0 +1,471 @@
+"""Time-varying arrival models for production fleet simulation.
+
+The dataset-generation experiments drive every function at a *constant*
+request rate (:mod:`repro.workloads.loadgen`), which matches the paper's
+controlled measurement protocol but not production traffic.  The fleet
+subsystem (:mod:`repro.fleet`) simulates hundreds of deployed functions over
+hours of virtual time, and production arrival processes are anything but
+constant: request rates follow day/night cycles, spike when an upstream batch
+job fires, ramp during rollouts, or replay a recorded trace.
+
+This module provides those arrival models as :class:`TrafficModel`
+subclasses.  Each model describes an inhomogeneous Poisson process through a
+vectorized ``rate(times_s)`` function and generates the arrivals of one time
+window ``[t0, t1)`` as a sorted numpy timestamp array via thinning — no
+per-request Python loops:
+
+- :class:`ConstantTraffic` — homogeneous Poisson (the loadgen protocol).
+- :class:`DiurnalTraffic` — sinusoidal day/night cycle.
+- :class:`BurstyTraffic` — periodic bursts on top of a base rate.
+- :class:`RampTraffic`   — linear ramp between two rates (rollouts, decay).
+- :class:`TraceTraffic`  — deterministic replay of a recorded timestamp
+  trace, optionally looped.
+
+A seeded fleet simulation that advances the same window sequence reproduces
+the same arrivals run over run.  The *rate functions* are additionally
+stateless and window-independent (any chunking evaluates the same burst
+placement and cycle phase); the sampled arrivals themselves consume the
+shared random stream per window, so changing the window boundaries redraws
+them (:class:`TraceTraffic` replay is exact and chunking-independent).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _require_positive(value: float, name: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is finite and > 0."""
+    if not np.isfinite(value) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive finite number, got {value}")
+
+
+def _require_window(start_s: float, end_s: float) -> tuple[float, float]:
+    """Validate a ``[start, end)`` window and return it as floats."""
+    start_s, end_s = float(start_s), float(end_s)
+    if not np.isfinite(start_s) or start_s < 0:
+        raise ConfigurationError("window start must be non-negative and finite")
+    if not np.isfinite(end_s) or end_s <= start_s:
+        raise ConfigurationError("window end must be finite and after its start")
+    return start_s, end_s
+
+
+class TrafficModel(abc.ABC):
+    """An inhomogeneous Poisson arrival process with a vectorized rate.
+
+    Subclasses implement :meth:`rate` (instantaneous request rate, evaluated
+    on a whole timestamp array at once) and :attr:`peak_rate` (a finite upper
+    bound of the rate used for thinning).  :meth:`arrivals` then samples one
+    window of the process without any per-request Python loop.
+    """
+
+    @abc.abstractmethod
+    def rate(self, times_s: np.ndarray) -> np.ndarray:
+        """Instantaneous arrival rate (requests/second) at each timestamp.
+
+        Parameters
+        ----------
+        times_s:
+            Array of absolute virtual timestamps in seconds.
+
+        Returns
+        -------
+        numpy.ndarray
+            The rate at each timestamp, same shape as ``times_s``.
+        """
+
+    @property
+    @abc.abstractmethod
+    def peak_rate(self) -> float:
+        """A finite upper bound on :meth:`rate` (the thinning envelope)."""
+
+    def arrivals(
+        self, start_s: float, end_s: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample the sorted arrival timestamps of one window ``[start, end)``.
+
+        Uses Lewis–Shedler thinning of a homogeneous Poisson process at
+        :attr:`peak_rate`: candidate arrivals are drawn as sorted uniforms and
+        kept with probability ``rate(t) / peak_rate``, all as numpy array
+        operations.
+
+        Parameters
+        ----------
+        start_s:
+            Window start in absolute virtual seconds.
+        end_s:
+            Window end (exclusive, ``end_s > start_s``).
+        rng:
+            Random source; passing the same generator state reproduces the
+            same arrivals.
+
+        Returns
+        -------
+        numpy.ndarray
+            Sorted absolute timestamps within ``[start_s, end_s)``.
+        """
+        start_s, end_s = _require_window(start_s, end_s)
+        peak = float(self.peak_rate)
+        n_candidates = int(rng.poisson(peak * (end_s - start_s)))
+        if n_candidates == 0:
+            return np.empty(0, dtype=float)
+        times = np.sort(rng.uniform(start_s, end_s, n_candidates))
+        keep = rng.uniform(0.0, peak, n_candidates) < self.rate(times)
+        return times[keep]
+
+    def mean_rate(self, start_s: float, end_s: float, resolution: int = 256) -> float:
+        """Approximate mean rate over a window (midpoint rule, for reports)."""
+        start_s, end_s = _require_window(start_s, end_s)
+        step = (end_s - start_s) / resolution
+        midpoints = start_s + step * (np.arange(resolution) + 0.5)
+        return float(np.mean(self.rate(midpoints)))
+
+
+@dataclass(frozen=True)
+class ConstantTraffic(TrafficModel):
+    """Homogeneous Poisson arrivals at a fixed rate.
+
+    Attributes
+    ----------
+    rate_rps:
+        Mean request rate in requests/second.
+    """
+
+    rate_rps: float
+
+    def __post_init__(self) -> None:
+        """Validate the configured rate."""
+        _require_positive(self.rate_rps, "rate_rps")
+
+    def rate(self, times_s: np.ndarray) -> np.ndarray:
+        """Return the constant rate for every timestamp."""
+        return np.full(np.asarray(times_s, dtype=float).shape, self.rate_rps)
+
+    @property
+    def peak_rate(self) -> float:
+        """The constant rate is its own envelope."""
+        return float(self.rate_rps)
+
+
+@dataclass(frozen=True)
+class DiurnalTraffic(TrafficModel):
+    """Sinusoidal day/night cycle around a mean rate.
+
+    The rate is ``mean * (1 + amplitude * sin(2*pi*(t - phase)/period))``:
+    it peaks at ``mean * (1 + amplitude)`` once per period and bottoms out at
+    ``mean * (1 - amplitude)``.
+
+    Attributes
+    ----------
+    mean_rate_rps:
+        Mean request rate over one full period.
+    amplitude:
+        Relative swing in ``[0, 1)`` (0 degenerates to constant traffic; 1 is
+        rejected because the trough rate would reach zero exactly and the
+        thinning acceptance test degenerates there).
+    period_s:
+        Cycle length in seconds (one virtual day by default).
+    phase_s:
+        Time offset of the cycle, so fleet functions do not all peak together.
+    """
+
+    mean_rate_rps: float
+    amplitude: float = 0.6
+    period_s: float = 86_400.0
+    phase_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        """Validate rate, amplitude, period and phase."""
+        _require_positive(self.mean_rate_rps, "mean_rate_rps")
+        _require_positive(self.period_s, "period_s")
+        if not np.isfinite(self.amplitude) or not 0.0 <= self.amplitude < 1.0:
+            raise ConfigurationError("amplitude must be in [0, 1)")
+        if not np.isfinite(self.phase_s):
+            raise ConfigurationError("phase_s must be finite")
+
+    def rate(self, times_s: np.ndarray) -> np.ndarray:
+        """Evaluate the sinusoidal rate at each timestamp."""
+        times = np.asarray(times_s, dtype=float)
+        cycle = np.sin(2.0 * np.pi * (times - self.phase_s) / self.period_s)
+        return self.mean_rate_rps * (1.0 + self.amplitude * cycle)
+
+    @property
+    def peak_rate(self) -> float:
+        """The crest of the sinusoid."""
+        return float(self.mean_rate_rps * (1.0 + self.amplitude))
+
+
+@dataclass(frozen=True)
+class BurstyTraffic(TrafficModel):
+    """Periodic bursts (spikes) on top of a low base rate.
+
+    Every ``burst_every_s`` seconds a burst of length ``burst_duration_s``
+    fires at ``burst_rate_rps``; outside bursts the process runs at
+    ``base_rate_rps``.  The burst offset within each interval is derived
+    deterministically from ``(burst_seed, interval index)``, so the rate
+    function is stateless: any window of any simulation evaluates the same
+    burst placement, regardless of chunking.
+
+    Attributes
+    ----------
+    base_rate_rps:
+        Quiet-period request rate.
+    burst_rate_rps:
+        Request rate during a burst (must exceed the base rate).
+    burst_every_s:
+        Length of one burst interval.
+    burst_duration_s:
+        Burst length (must fit inside an interval).
+    burst_seed:
+        Seed of the deterministic per-interval burst placement.
+    """
+
+    base_rate_rps: float
+    burst_rate_rps: float
+    burst_every_s: float = 7_200.0
+    burst_duration_s: float = 300.0
+    burst_seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate rates and burst geometry."""
+        _require_positive(self.base_rate_rps, "base_rate_rps")
+        _require_positive(self.burst_rate_rps, "burst_rate_rps")
+        _require_positive(self.burst_every_s, "burst_every_s")
+        _require_positive(self.burst_duration_s, "burst_duration_s")
+        if self.burst_rate_rps <= self.base_rate_rps:
+            raise ConfigurationError("burst_rate_rps must exceed base_rate_rps")
+        if self.burst_duration_s >= self.burst_every_s:
+            raise ConfigurationError("burst_duration_s must be shorter than burst_every_s")
+
+    def _burst_start(self, interval: int) -> float:
+        """Deterministic burst start offset within one interval."""
+        slack = self.burst_every_s - self.burst_duration_s
+        rng = np.random.default_rng([int(self.burst_seed), int(interval)])
+        return float(rng.uniform(0.0, slack))
+
+    def rate(self, times_s: np.ndarray) -> np.ndarray:
+        """Evaluate the base/burst rate at each timestamp."""
+        times = np.asarray(times_s, dtype=float)
+        intervals = np.floor_divide(times, self.burst_every_s).astype(int)
+        offsets = times - intervals * self.burst_every_s
+        rates = np.full(times.shape, self.base_rate_rps)
+        for interval in np.unique(intervals):
+            start = self._burst_start(int(interval))
+            in_burst = (
+                (intervals == interval)
+                & (offsets >= start)
+                & (offsets < start + self.burst_duration_s)
+            )
+            rates[in_burst] = self.burst_rate_rps
+        return rates
+
+    @property
+    def peak_rate(self) -> float:
+        """The burst rate bounds the process."""
+        return float(self.burst_rate_rps)
+
+
+@dataclass(frozen=True)
+class RampTraffic(TrafficModel):
+    """Linear ramp between two rates (rollout ramp-up or traffic decay).
+
+    The rate holds at ``start_rate_rps`` until ``ramp_start_s``, changes
+    linearly to ``end_rate_rps`` over ``ramp_duration_s``, then holds there.
+
+    Attributes
+    ----------
+    start_rate_rps / end_rate_rps:
+        Rates before and after the ramp (both positive; a decaying ramp has
+        ``end < start``).
+    ramp_start_s:
+        Absolute time the ramp begins.
+    ramp_duration_s:
+        Length of the linear transition.
+    """
+
+    start_rate_rps: float
+    end_rate_rps: float
+    ramp_start_s: float = 0.0
+    ramp_duration_s: float = 43_200.0
+
+    def __post_init__(self) -> None:
+        """Validate rates and ramp geometry."""
+        _require_positive(self.start_rate_rps, "start_rate_rps")
+        _require_positive(self.end_rate_rps, "end_rate_rps")
+        _require_positive(self.ramp_duration_s, "ramp_duration_s")
+        if not np.isfinite(self.ramp_start_s) or self.ramp_start_s < 0:
+            raise ConfigurationError("ramp_start_s must be non-negative and finite")
+
+    def rate(self, times_s: np.ndarray) -> np.ndarray:
+        """Evaluate the piecewise-linear rate at each timestamp."""
+        times = np.asarray(times_s, dtype=float)
+        progress = np.clip((times - self.ramp_start_s) / self.ramp_duration_s, 0.0, 1.0)
+        return self.start_rate_rps + progress * (self.end_rate_rps - self.start_rate_rps)
+
+    @property
+    def peak_rate(self) -> float:
+        """The larger of the two endpoint rates."""
+        return float(max(self.start_rate_rps, self.end_rate_rps))
+
+
+@dataclass(frozen=True)
+class TraceTraffic(TrafficModel):
+    """Deterministic replay of a recorded arrival-timestamp trace.
+
+    Attributes
+    ----------
+    timestamps_s:
+        Sorted non-negative arrival timestamps of the recorded trace,
+        relative to the trace start.
+    loop_period_s:
+        When set, the trace repeats every ``loop_period_s`` seconds (must be
+        longer than the last trace timestamp); when ``None`` the trace plays
+        once and windows beyond it are empty.
+    """
+
+    timestamps_s: tuple[float, ...]
+    loop_period_s: float | None = None
+
+    def __post_init__(self) -> None:
+        """Validate the trace and its loop period."""
+        trace = np.asarray(self.timestamps_s, dtype=float)
+        object.__setattr__(self, "timestamps_s", tuple(float(t) for t in trace))
+        if trace.size == 0:
+            raise ConfigurationError("a trace needs at least one timestamp")
+        if not np.all(np.isfinite(trace)) or np.any(trace < 0):
+            raise ConfigurationError("trace timestamps must be non-negative and finite")
+        if np.any(np.diff(trace) < 0):
+            raise ConfigurationError("trace timestamps must be sorted ascending")
+        if self.loop_period_s is not None:
+            _require_positive(self.loop_period_s, "loop_period_s")
+            if self.loop_period_s <= trace[-1]:
+                raise ConfigurationError(
+                    "loop_period_s must be longer than the last trace timestamp"
+                )
+
+    def _trace(self) -> np.ndarray:
+        """Return the trace as a float array."""
+        return np.asarray(self.timestamps_s, dtype=float)
+
+    def rate(self, times_s: np.ndarray) -> np.ndarray:
+        """Empirical rate: trace arrivals per second around each timestamp.
+
+        Uses a one-period (or whole-trace) average window; only used for
+        reporting — replay itself is exact.
+        """
+        times = np.asarray(times_s, dtype=float)
+        trace = self._trace()
+        if self.loop_period_s is not None:
+            return np.full(times.shape, trace.size / self.loop_period_s)
+        span = max(float(trace[-1]), 1.0)
+        in_span = times <= trace[-1]
+        return np.where(in_span, trace.size / span, 0.0)
+
+    @property
+    def peak_rate(self) -> float:
+        """Upper bound on the empirical rate (unused by exact replay)."""
+        return float(np.max(self.rate(self._trace())))
+
+    def arrivals(
+        self, start_s: float, end_s: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Replay the trace arrivals that fall inside ``[start_s, end_s)``.
+
+        Deterministic — ``rng`` is accepted for interface compatibility but
+        never consumed, so replay does not perturb a shared random stream.
+        """
+        start_s, end_s = _require_window(start_s, end_s)
+        trace = self._trace()
+        if self.loop_period_s is None:
+            lo, hi = np.searchsorted(trace, [start_s, end_s])
+            return trace[lo:hi].copy()
+        period = float(self.loop_period_s)
+        first_cycle = int(np.floor(start_s / period))
+        last_cycle = int(np.floor((end_s - 1e-9) / period))
+        chunks = []
+        for cycle in range(first_cycle, last_cycle + 1):
+            shifted = trace + cycle * period
+            lo, hi = np.searchsorted(shifted, [start_s, end_s])
+            chunks.append(shifted[lo:hi])
+        return np.concatenate(chunks) if chunks else np.empty(0, dtype=float)
+
+
+def sample_fleet_traffic(
+    n_functions: int,
+    seed: int = 0,
+    mean_rate_range: tuple[float, float] = (0.01, 0.05),
+    period_s: float = 86_400.0,
+) -> list[TrafficModel]:
+    """Sample a mixed traffic assignment for a fleet of functions.
+
+    Cycles through diurnal, bursty, ramp and constant models with
+    per-function rates and phases drawn from ``seed``, so a fleet simulation
+    sees heterogeneous, time-varying load without hand-assigning models.
+
+    Parameters
+    ----------
+    n_functions:
+        Number of traffic models to produce (one per fleet function).
+    seed:
+        Seed of the sampling.
+    mean_rate_range:
+        Inclusive range the per-function mean request rate is drawn from.
+    period_s:
+        Diurnal period (and the scale of burst/ramp geometry).
+
+    Returns
+    -------
+    list of TrafficModel
+        One model per function, in index order.
+    """
+    if n_functions < 1:
+        raise ConfigurationError("n_functions must be at least 1")
+    low, high = mean_rate_range
+    _require_positive(low, "mean_rate_range[0]")
+    _require_positive(high, "mean_rate_range[1]")
+    if high < low:
+        raise ConfigurationError("mean_rate_range must be (low, high) with high >= low")
+    _require_positive(period_s, "period_s")
+    rng = np.random.default_rng(seed)
+    models: list[TrafficModel] = []
+    for index in range(n_functions):
+        mean_rate = float(rng.uniform(low, high))
+        kind = index % 4
+        if kind == 0:
+            models.append(
+                DiurnalTraffic(
+                    mean_rate_rps=mean_rate,
+                    amplitude=float(rng.uniform(0.3, 0.8)),
+                    period_s=period_s,
+                    phase_s=float(rng.uniform(0.0, period_s)),
+                )
+            )
+        elif kind == 1:
+            models.append(
+                BurstyTraffic(
+                    base_rate_rps=mean_rate,
+                    burst_rate_rps=mean_rate * float(rng.uniform(3.0, 6.0)),
+                    burst_every_s=period_s / 12.0,
+                    burst_duration_s=period_s / 96.0,
+                    burst_seed=int(rng.integers(0, 2**31)),
+                )
+            )
+        elif kind == 2:
+            up = bool(rng.integers(0, 2))
+            factor = float(rng.uniform(1.5, 3.0))
+            models.append(
+                RampTraffic(
+                    start_rate_rps=mean_rate if up else mean_rate * factor,
+                    end_rate_rps=mean_rate * factor if up else mean_rate,
+                    ramp_start_s=float(rng.uniform(0.0, period_s / 4.0)),
+                    ramp_duration_s=period_s / 2.0,
+                )
+            )
+        else:
+            models.append(ConstantTraffic(rate_rps=mean_rate))
+    return models

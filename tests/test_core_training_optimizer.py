@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, DatasetError, ModelError, OptimizationError
@@ -128,6 +129,81 @@ class TestOptimizer:
         optimizer = MemorySizeOptimizer(tradeoff=0.5)
         assert optimizer.tradeoff.tradeoff == 0.5
 
+    def test_equal_scores_tie_break_to_smaller_size(self):
+        """Deterministic tie-break: equal S_total selects the smaller size.
+
+        Execution times are chosen so that doubling the memory exactly halves
+        the billed duration — cost (and, with t = 1, the total score) is then
+        identical for both sizes, and the optimizer must deterministically
+        pick the smaller one, keeping fleet hysteresis reproducible.
+        """
+        optimizer = MemorySizeOptimizer()
+        times = {512: 2000.0, 1024: 1000.0}
+        totals = optimizer.total_scores(times, tradeoff=1.0)
+        assert totals[512] == totals[1024]  # exact tie by construction
+        recommendation = optimizer.recommend(times, tradeoff=1.0)
+        assert recommendation.selected_memory_mb == 512
+        assert recommendation.ranking == (512, 1024)
+
+    def test_matrix_tie_break_matches_scalar(self):
+        optimizer = MemorySizeOptimizer()
+        matrix = optimizer.recommend_matrix(
+            np.array([[2000.0, 1000.0]]), (512, 1024), tradeoff=1.0
+        )
+        assert int(matrix.selected_memory_mb[0]) == 512
+
+
+class TestMatrixOptimizer:
+    SIZES = (128, 256, 512, 1024, 2048, 3008)
+
+    def _times_matrix(self, n_rows: int = 25, seed: int = 0) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        base = rng.uniform(50.0, 4000.0, size=(n_rows, 1))
+        decay = np.exp(-rng.uniform(0.1, 1.5, size=(n_rows, 1)) * np.arange(6))
+        floor = rng.uniform(0.05, 0.5, size=(n_rows, 1))
+        return base * np.maximum(decay, floor)
+
+    def test_matrix_bitwise_identical_to_scalar(self):
+        """recommend_matrix row i must equal recommend() on row i exactly."""
+        optimizer = MemorySizeOptimizer()
+        times = self._times_matrix()
+        for tradeoff in (0.75, 0.5, 0.25):
+            matrix = optimizer.recommend_matrix(times, self.SIZES, tradeoff=tradeoff)
+            for i in range(times.shape[0]):
+                row_times = {size: float(times[i, j]) for j, size in enumerate(self.SIZES)}
+                scalar = optimizer.recommend(row_times, tradeoff=tradeoff)
+                assert int(matrix.selected_memory_mb[i]) == scalar.selected_memory_mb
+                for j, size in enumerate(self.SIZES):
+                    assert matrix.costs_usd[i, j] == scalar.costs_usd[size]
+                    assert matrix.cost_scores[i, j] == scalar.cost_scores[size]
+                    assert matrix.performance_scores[i, j] == scalar.performance_scores[size]
+                    assert matrix.total_scores[i, j] == scalar.total_scores[size]
+
+    def test_row_view_matches_scalar_recommendation(self):
+        optimizer = MemorySizeOptimizer()
+        times = self._times_matrix(n_rows=4, seed=3)
+        matrix = optimizer.recommend_matrix(times, self.SIZES)
+        for i in range(4):
+            row_times = {size: float(times[i, j]) for j, size in enumerate(self.SIZES)}
+            scalar = optimizer.recommend(row_times)
+            view = matrix.row(i)
+            assert view.selected_memory_mb == scalar.selected_memory_mb
+            assert view.ranking == scalar.ranking
+            assert view.total_scores == scalar.total_scores
+
+    def test_matrix_validation_errors(self):
+        optimizer = MemorySizeOptimizer()
+        with pytest.raises(OptimizationError):
+            optimizer.recommend_matrix(np.empty((0, 6)), self.SIZES)
+        with pytest.raises(OptimizationError):
+            optimizer.recommend_matrix(np.ones((2, 3)), self.SIZES)
+        with pytest.raises(OptimizationError):
+            optimizer.recommend_matrix(np.array([[1.0, -1.0]]), (128, 256))
+        with pytest.raises(OptimizationError):
+            optimizer.recommend_matrix(np.ones((2, 2)), (256, 128))
+        with pytest.raises(OptimizationError):
+            optimizer.recommend_matrix(np.ones((2, 2)), (256, 256))
+
 
 class TestPredictor:
     def test_requires_fitted_model(self):
@@ -158,6 +234,108 @@ class TestPredictor:
     def test_custom_pricing(self, trained_model, sample_summary):
         predictor = SizelessPredictor(trained_model, pricing=PricingModel.for_provider("gcloud"))
         assert predictor.recommend(sample_summary).selected_memory_mb > 0
+
+    def test_no_models_raises(self):
+        with pytest.raises(ModelError):
+            SizelessPredictor({})
+
+    def test_mismatched_registration_size_raises(self, trained_model):
+        with pytest.raises(ModelError):
+            SizelessPredictor({512: trained_model})
+
+    def test_model_for_unknown_base_size_raises(self, trained_model):
+        predictor = SizelessPredictor(trained_model)
+        with pytest.raises(ModelError) as excinfo:
+            predictor.model_for(3008)
+        assert "256" in str(excinfo.value)  # error names the available sizes
+
+
+class TestPredictorBatch:
+    """The whole-fleet batch prediction API (predict_table / recommend_table)."""
+
+    def test_batch_bitwise_identical_to_scalar(self, trained_model, small_dataset):
+        """Batch predictions must equal per-function predictions bit for bit."""
+        predictor = SizelessPredictor(trained_model)
+        table = small_dataset.to_table()
+        batch = predictor.predict_table(table, base_memory_mb=256)
+        assert batch.function_names == table.function_names
+        assert batch.memory_sizes_mb == (128, 256, 512, 1024, 2048, 3008)
+        for i, name in enumerate(table.function_names):
+            scalar = predictor.predict(table.summary(name, 256))
+            for j, size in enumerate(batch.memory_sizes_mb):
+                assert batch.execution_times_ms[i, j] == scalar.execution_times_ms[size]
+            view = batch.row(i)
+            assert view.execution_times_ms == scalar.execution_times_ms
+            assert view.function_name == name
+
+    def test_recommend_table_matches_scalar_recommend(self, trained_model, small_dataset):
+        predictor = SizelessPredictor(trained_model)
+        table = small_dataset.to_table()
+        _, matrix = predictor.recommend_table(table, base_memory_mb=256, tradeoff=0.75)
+        for i, name in enumerate(table.function_names):
+            scalar = predictor.recommend(table.summary(name, 256), tradeoff=0.75)
+            assert int(matrix.selected_memory_mb[i]) == scalar.selected_memory_mb
+            assert matrix.row(i).total_scores == scalar.total_scores
+
+    def test_function_indices_subset(self, trained_model, small_dataset):
+        predictor = SizelessPredictor(trained_model)
+        table = small_dataset.to_table()
+        indices = [4, 0, 7]
+        subset = predictor.predict_table(table, base_memory_mb=256, function_indices=indices)
+        full = predictor.predict_table(table, base_memory_mb=256)
+        assert subset.function_names == tuple(table.function_names[i] for i in indices)
+        assert np.array_equal(
+            subset.execution_times_ms, full.execution_times_ms[indices]
+        )
+
+    def test_unknown_base_size_raises(self, trained_model, small_dataset):
+        predictor = SizelessPredictor(trained_model)
+        with pytest.raises(ModelError):
+            predictor.predict_table(small_dataset.to_table(), base_memory_mb=512)
+
+    def test_base_size_not_in_table_raises(self, trained_model, small_dataset):
+        """A table measured without the base size fails the size lookup."""
+        from repro.dataset.table import MeasurementTable
+
+        predictor = SizelessPredictor(trained_model)
+        table = MeasurementTable.from_measurements(
+            list(small_dataset), memory_sizes_mb=(128, 512)
+        )
+        with pytest.raises(DatasetError):
+            predictor.predict_table(table, base_memory_mb=256)
+
+    def test_unmeasured_function_raises(self, trained_model, small_dataset):
+        """A function without monitoring data at the base size is rejected."""
+        from dataclasses import replace
+
+        predictor = SizelessPredictor(trained_model)
+        table = small_dataset.to_table()
+        counts = table.n_invocations.copy()
+        counts[1, table.size_index(256)] = 0  # empty summary for function 1
+        broken = replace(table, n_invocations=counts)
+        with pytest.raises(ModelError) as excinfo:
+            predictor.predict_table(broken, base_memory_mb=256)
+        assert table.function_names[1] in str(excinfo.value)
+
+    def test_empty_selection_raises(self, trained_model, small_dataset):
+        predictor = SizelessPredictor(trained_model)
+        with pytest.raises(ModelError):
+            predictor.predict_table(
+                small_dataset.to_table(), base_memory_mb=256, function_indices=[]
+            )
+
+    def test_ambiguous_base_size_requires_argument(self, trained_model, small_dataset):
+        predictor = SizelessPredictor(trained_model)
+        # A single registered model resolves implicitly ...
+        implicit = predictor.predict_table(small_dataset.to_table())
+        assert implicit.base_memory_mb == 256
+        # ... but predict_times_matrix rejects malformed inputs outright.
+        with pytest.raises(ModelError):
+            trained_model.predict_times_matrix(np.ones((2, 3, 4)), np.ones(2))
+        with pytest.raises(ModelError):
+            trained_model.predict_times_matrix(
+                np.ones((2, trained_model.extractor.n_features)), np.array([1.0, -5.0])
+            )
 
 
 class TestPartialDependence:

@@ -18,6 +18,7 @@ from repro.experiments import (
     figure5_partial_dependence,
     figure6_predictions,
     figure7_selection_rank,
+    fleet_savings,
     table2_hyperparameters,
     table3_basesize,
     table8_savings,
@@ -172,6 +173,27 @@ class TestFigure7AndTable8:
         cost_focused = result.all_applications_row(0.75)
         speed_focused = result.all_applications_row(0.25)
         assert speed_focused.speedup_percent >= cost_focused.speedup_percent - 5.0
+
+
+class TestFleetSavings:
+    def test_longitudinal_run_structure(self, context):
+        result = fleet_savings.run(
+            context,
+            n_functions=30,
+            n_windows=6,
+            window_s=3600.0,
+            mean_rate_range=(0.01, 0.03),
+            seed=5,
+        )
+        assert result.n_functions == 30
+        assert result.n_windows == 6
+        assert len(result.resizes_per_window) == 6
+        assert sum(result.final_size_histogram.values()) == 30
+        assert result.total_invocations > 0
+        assert result.n_rollbacks <= result.n_resizes
+        # The continuous service realizes the Table-8 direction: functions
+        # end up faster than the all-default deployment.
+        assert result.speedup_percent > 0.0
 
 
 @pytest.mark.slow

@@ -1,0 +1,217 @@
+"""Unit tests for the time-varying traffic models (repro.workloads.traffic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.traffic import (
+    BurstyTraffic,
+    ConstantTraffic,
+    DiurnalTraffic,
+    RampTraffic,
+    TraceTraffic,
+    sample_fleet_traffic,
+)
+
+
+class TestValidation:
+    def test_constant_rejects_non_positive_and_non_finite_rates(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ConfigurationError):
+                ConstantTraffic(rate_rps=bad)
+
+    def test_diurnal_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalTraffic(mean_rate_rps=-0.1)
+        with pytest.raises(ConfigurationError):
+            DiurnalTraffic(mean_rate_rps=1.0, amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalTraffic(mean_rate_rps=1.0, amplitude=-0.2)
+        with pytest.raises(ConfigurationError):
+            DiurnalTraffic(mean_rate_rps=1.0, period_s=0.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalTraffic(mean_rate_rps=1.0, phase_s=float("nan"))
+
+    def test_bursty_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            BurstyTraffic(base_rate_rps=1.0, burst_rate_rps=0.5)  # burst below base
+        with pytest.raises(ConfigurationError):
+            BurstyTraffic(
+                base_rate_rps=1.0, burst_rate_rps=5.0,
+                burst_every_s=100.0, burst_duration_s=100.0,
+            )
+        with pytest.raises(ConfigurationError):
+            BurstyTraffic(base_rate_rps=0.0, burst_rate_rps=5.0)
+
+    def test_ramp_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RampTraffic(start_rate_rps=0.0, end_rate_rps=1.0)
+        with pytest.raises(ConfigurationError):
+            RampTraffic(start_rate_rps=1.0, end_rate_rps=2.0, ramp_duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            RampTraffic(start_rate_rps=1.0, end_rate_rps=2.0, ramp_start_s=-5.0)
+
+    def test_trace_rejects_bad_traces(self):
+        with pytest.raises(ConfigurationError):
+            TraceTraffic(timestamps_s=())
+        with pytest.raises(ConfigurationError):
+            TraceTraffic(timestamps_s=(3.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            TraceTraffic(timestamps_s=(-1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            TraceTraffic(timestamps_s=(1.0, 2.0), loop_period_s=1.5)
+
+    def test_bad_window_rejected(self):
+        model = ConstantTraffic(rate_rps=1.0)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            model.arrivals(10.0, 10.0, rng)
+        with pytest.raises(ConfigurationError):
+            model.arrivals(-1.0, 5.0, rng)
+
+
+class TestArrivalGeneration:
+    def test_arrivals_sorted_and_inside_window(self):
+        models = [
+            ConstantTraffic(rate_rps=2.0),
+            DiurnalTraffic(mean_rate_rps=2.0, amplitude=0.7),
+            BurstyTraffic(base_rate_rps=0.5, burst_rate_rps=5.0,
+                          burst_every_s=600.0, burst_duration_s=60.0),
+            RampTraffic(start_rate_rps=0.5, end_rate_rps=3.0, ramp_duration_s=1800.0),
+        ]
+        rng = np.random.default_rng(7)
+        for model in models:
+            times = model.arrivals(1000.0, 4600.0, rng)
+            assert np.all(np.diff(times) >= 0)
+            assert np.all((times >= 1000.0) & (times < 4600.0))
+            assert times.size > 0
+
+    def test_constant_rate_matches_poisson_mean(self):
+        model = ConstantTraffic(rate_rps=5.0)
+        rng = np.random.default_rng(3)
+        counts = [model.arrivals(0.0, 1000.0, rng).size for _ in range(20)]
+        assert np.mean(counts) == pytest.approx(5000, rel=0.05)
+
+    def test_diurnal_peak_and_trough_differ(self):
+        """Windows at the crest see several times the traffic of the trough."""
+        model = DiurnalTraffic(mean_rate_rps=2.0, amplitude=0.8, period_s=86_400.0)
+        rng = np.random.default_rng(11)
+        # Rate peaks a quarter period after phase 0 and bottoms at three quarters.
+        peak = model.arrivals(86_400 // 4 - 1800, 86_400 // 4 + 1800, rng).size
+        trough = model.arrivals(3 * 86_400 // 4 - 1800, 3 * 86_400 // 4 + 1800, rng).size
+        assert peak > 3 * trough
+
+    def test_bursty_rate_hits_burst_level_deterministically(self):
+        model = BurstyTraffic(
+            base_rate_rps=0.1, burst_rate_rps=10.0,
+            burst_every_s=3600.0, burst_duration_s=300.0, burst_seed=5,
+        )
+        times = np.linspace(0.0, 4 * 3600.0, 20_000)
+        rates = model.rate(times)
+        assert rates.min() == pytest.approx(0.1)
+        assert rates.max() == pytest.approx(10.0)
+        # Burst placement is a pure function of (seed, interval): same result
+        # regardless of evaluation chunking.
+        chunked = np.concatenate([model.rate(chunk) for chunk in np.split(times, 4)])
+        assert np.array_equal(rates, chunked)
+
+    def test_ramp_moves_between_endpoint_rates(self):
+        model = RampTraffic(
+            start_rate_rps=1.0, end_rate_rps=4.0,
+            ramp_start_s=100.0, ramp_duration_s=200.0,
+        )
+        assert model.rate(np.array([0.0]))[0] == pytest.approx(1.0)
+        assert model.rate(np.array([200.0]))[0] == pytest.approx(2.5)
+        assert model.rate(np.array([1000.0]))[0] == pytest.approx(4.0)
+        assert model.peak_rate == pytest.approx(4.0)
+
+    def test_seeded_generation_is_reproducible(self):
+        model = DiurnalTraffic(mean_rate_rps=1.0, amplitude=0.5)
+        a = model.arrivals(0.0, 7200.0, np.random.default_rng(42))
+        b = model.arrivals(0.0, 7200.0, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+
+class TestTraceReplay:
+    def test_replay_is_exact_and_windowed(self):
+        trace = (1.0, 5.0, 9.0, 14.5)
+        model = TraceTraffic(timestamps_s=trace)
+        rng = np.random.default_rng(0)
+        assert np.array_equal(model.arrivals(0.0, 10.0, rng), [1.0, 5.0, 9.0])
+        assert np.array_equal(model.arrivals(5.0, 15.0, rng), [5.0, 9.0, 14.5])
+        assert model.arrivals(20.0, 30.0, rng).size == 0
+
+    def test_replay_does_not_consume_randomness(self):
+        model = TraceTraffic(timestamps_s=(1.0, 2.0))
+        rng = np.random.default_rng(1)
+        before = rng.bit_generator.state
+        model.arrivals(0.0, 10.0, rng)
+        assert rng.bit_generator.state == before
+
+    def test_looped_replay_covers_every_cycle(self):
+        model = TraceTraffic(timestamps_s=(1.0, 5.0), loop_period_s=10.0)
+        rng = np.random.default_rng(0)
+        assert np.array_equal(model.arrivals(0.0, 30.0, rng), [1, 5, 11, 15, 21, 25])
+        # Chunked windows reproduce the contiguous replay.
+        chunked = np.concatenate(
+            [model.arrivals(t, t + 10.0, rng) for t in (0.0, 10.0, 20.0)]
+        )
+        assert np.array_equal(chunked, model.arrivals(0.0, 30.0, rng))
+        # A window inside a later cycle.
+        assert np.array_equal(model.arrivals(12.0, 18.0, rng), [15.0])
+
+
+class TestFleetSampling:
+    def test_sample_covers_all_model_kinds(self):
+        models = sample_fleet_traffic(8, seed=3)
+        kinds = {type(model) for model in models}
+        assert kinds == {ConstantTraffic, DiurnalTraffic, BurstyTraffic, RampTraffic}
+
+    def test_sample_is_seed_deterministic(self):
+        assert sample_fleet_traffic(6, seed=9) == sample_fleet_traffic(6, seed=9)
+
+    def test_sample_validation(self):
+        with pytest.raises(ConfigurationError):
+            sample_fleet_traffic(0)
+        with pytest.raises(ConfigurationError):
+            sample_fleet_traffic(3, mean_rate_range=(0.5, 0.1))
+        with pytest.raises(ConfigurationError):
+            sample_fleet_traffic(3, mean_rate_range=(0.0, 0.1))
+
+
+class TestWorkloadValidation:
+    """Typed ConfigurationError coverage for the loadgen Workload (satellite)."""
+
+    def test_non_positive_rate_and_duration(self):
+        from repro.workloads.loadgen import Workload
+
+        with pytest.raises(ConfigurationError):
+            Workload(requests_per_second=0.0)
+        with pytest.raises(ConfigurationError):
+            Workload(requests_per_second=-3.0)
+        with pytest.raises(ConfigurationError):
+            Workload(duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            Workload(duration_s=-10.0)
+
+    def test_warmup_must_stay_inside_duration(self):
+        from repro.workloads.loadgen import Workload
+
+        with pytest.raises(ConfigurationError):
+            Workload(duration_s=60.0, warmup_s=60.0)
+        with pytest.raises(ConfigurationError):
+            Workload(duration_s=60.0, warmup_s=90.0)
+        with pytest.raises(ConfigurationError):
+            Workload(warmup_s=-1.0)
+
+    def test_non_finite_values_rejected(self):
+        """NaN compares False against every bound and must be caught explicitly."""
+        from repro.workloads.loadgen import Workload
+
+        for field in ("requests_per_second", "duration_s", "warmup_s"):
+            with pytest.raises(ConfigurationError):
+                Workload(**{field: float("nan")})
+        with pytest.raises(ConfigurationError):
+            Workload(duration_s=float("inf"))
