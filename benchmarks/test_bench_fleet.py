@@ -1,15 +1,27 @@
-"""Benchmark: fleet rightsizing service throughput and memory bound.
+"""Benchmark: fleet rightsizing throughput, fused speedup and memory bound.
 
-Measures how fast the continuous observe -> batch-predict -> resize loop
-advances a 300-function fleet (windows/second and invocations/second), and
-asserts the subsystem's memory contract: peak traced memory of a multi-window
-run stays within a small multiple of ONE window's stat arrays — the run must
-not accumulate per-window state, whatever its length.
+Three contracts of the online subsystem are asserted here:
 
-Like ``test_bench_generation`` this module ignores ``REPRO_BENCH_SCALE`` for
-the memory assertion (the bound is defined at a fixed fleet size); the
-ceiling can be loosened on noisy interpreters via
-``REPRO_BENCH_FLEET_MEM_FACTOR`` (a multiplier, default 1).
+1. **Service throughput** — the continuous observe -> batch-predict -> resize
+   loop advances a fleet at a usable pace (windows/second and simulated
+   invocations/second are printed for the performance ledger).
+2. **Fused window speedup** — executing one monitoring window as a single
+   cross-function mega-batch (``run_grouped`` + one segmented reduction) is
+   at least ``REPRO_BENCH_FLEET_MIN_SPEEDUP`` (default 5) times faster than
+   the per-function-batch path at 500 functions.  The scenario is the
+   production-shaped sparse regime (a few requests per hour per function)
+   where per-function engine dispatch dominates the looped path.  Both paths
+   consume identical pre-built arrivals and per-group noise streams and
+   produce bit-identical stats (asserted).
+3. **Memory bound** — peak traced memory of a multi-window service run stays
+   within a small multiple of ONE window's fused columns, independent of the
+   number of windows processed.
+
+Scale knobs for CI smoke runs: ``REPRO_BENCH_FLEET_FUNCTIONS`` /
+``REPRO_BENCH_FLEET_WINDOWS`` shrink the service run,
+``REPRO_BENCH_FLEET_SPEEDUP_FUNCTIONS`` shrinks the speedup scenario, and
+``REPRO_BENCH_FLEET_MEM_FACTOR`` loosens the memory ceiling on noisy
+interpreters (a multiplier, default 1).
 """
 
 from __future__ import annotations
@@ -24,19 +36,35 @@ from repro.core.predictor import SizelessPredictor
 from repro.fleet import ControllerConfig, FleetConfig, FleetRightsizingService, FleetSimulator
 from repro.monitoring.aggregation import STAT_NAMES
 from repro.monitoring.metrics import METRIC_NAMES
+from repro.simulation.engine import GroupRequest
+from repro.simulation.seeding import STREAM_EXECUTION, STREAM_TRAFFIC, spawn_child_rngs
 from repro.workloads.generator import GeneratorConfig, SyntheticFunctionGenerator
 from repro.workloads.traffic import sample_fleet_traffic
 
-N_FUNCTIONS = 300
-N_WINDOWS = 8
+N_FUNCTIONS = int(os.environ.get("REPRO_BENCH_FLEET_FUNCTIONS", "300"))
+N_WINDOWS = int(os.environ.get("REPRO_BENCH_FLEET_WINDOWS", "8"))
 WINDOW_S = 3600.0
 
-#: Bytes of one window's dense stat array (functions x metrics x stats).
-_WINDOW_STATS_NBYTES = N_FUNCTIONS * len(METRIC_NAMES) * len(STAT_NAMES) * 8
+#: Functions in the fused-vs-looped speedup scenario (the acceptance
+#: criterion is defined at 500).
+SPEEDUP_FUNCTIONS = int(os.environ.get("REPRO_BENCH_FLEET_SPEEDUP_FUNCTIONS", "500"))
+SPEEDUP_WINDOWS = 3
+
+#: Mean request-rate range of the speedup scenario: the production-shaped
+#: long tail where most functions see a handful of requests per hour.
+SPEEDUP_RATE_RANGE = (0.0005, 0.003)
+
+#: Float64 slots the fused window pipeline holds per invocation (metric
+#: columns, timing/noise intermediates, aggregation working set).
+_COLUMN_SLOTS = 130
 
 
 def _mem_factor() -> float:
     return float(os.environ.get("REPRO_BENCH_FLEET_MEM_FACTOR", "1"))
+
+
+def _min_speedup() -> float:
+    return float(os.environ.get("REPRO_BENCH_FLEET_MIN_SPEEDUP", "5.0"))
 
 
 def _build_service(context) -> FleetRightsizingService:
@@ -76,9 +104,10 @@ def test_bench_fleet_throughput_and_memory(warm_context):
         f"{seconds:.2f} s = {N_WINDOWS / seconds:.2f} windows/s, "
         f"{invocations / seconds:,.0f} simulated invocations/s"
     )
+    window_column_bytes = invocations / N_WINDOWS * 8 * _COLUMN_SLOTS
     print(
         f"peak traced memory: {peak_bytes / 1e6:.2f} MB "
-        f"(one window's stats: {_WINDOW_STATS_NBYTES / 1e6:.2f} MB); "
+        f"(one window's fused columns: {window_column_bytes / 1e6:.2f} MB); "
         f"resizes: {report.n_resizes} (+{report.n_rollbacks} rollbacks), "
         f"realized speedup: {report.ledger.speedup_percent():+.1f} %"
     )
@@ -87,8 +116,97 @@ def test_bench_fleet_throughput_and_memory(warm_context):
     assert invocations > 0
     # The service must finish at a usable pace even on shared CI runners.
     assert N_WINDOWS / seconds > 0.1
-    # Memory contract: the run holds one window's arrays plus fleet state,
-    # never the whole run's history.  The stat arrays of all processed
-    # windows would already exceed this ceiling at 24+ windows; the bound is
-    # deliberately independent of N_WINDOWS.
-    assert peak_bytes < 20 * _WINDOW_STATS_NBYTES * _mem_factor()
+    # Memory contract: the run holds one window's fused columns plus fleet
+    # state, never the whole run's history.  The bound is deliberately
+    # independent of N_WINDOWS — accumulating windows would blow through it.
+    assert peak_bytes < 3 * window_column_bytes * _mem_factor()
+
+
+def _speedup_scenario():
+    functions = SyntheticFunctionGenerator(
+        config=GeneratorConfig(seed=91, name_prefix="bench-fused")
+    ).generate(SPEEDUP_FUNCTIONS)
+    # Production-shaped long tail: most functions see a handful of requests
+    # per hour, so a window is many tiny per-function batches.
+    traffic = sample_fleet_traffic(
+        SPEEDUP_FUNCTIONS, seed=92, mean_rate_range=SPEEDUP_RATE_RANGE
+    )
+    return functions, traffic
+
+
+def _window_arrivals(traffic, window_index):
+    rngs = spawn_child_rngs(93, STREAM_TRAFFIC, window_index, n=len(traffic))
+    start_s = window_index * WINDOW_S
+    return [
+        model.arrivals(start_s, start_s + WINDOW_S, rng)
+        for model, rng in zip(traffic, rngs)
+    ]
+
+
+def execute_windows(functions, traffic, fused, n_windows=SPEEDUP_WINDOWS):
+    """Execute the speedup scenario's windows, timing only the execution.
+
+    Traffic sampling and stream spawning (identical for both paths) happen
+    outside the timer; the timed region is exactly the contested work — the
+    fused mega-batch + one segmented reduction, or one engine batch + one
+    stat reduction per function.  Returns ``(seconds, invocations, stats)``
+    where ``stats`` is one ``(n_functions, n_metrics, n_stats)`` array per
+    window.  Shared by ``test_bench_fused_window_speedup`` and
+    ``tools/bench_report.py`` so the asserted and the reported scenario can
+    never drift apart.
+    """
+    simulator = FleetSimulator(
+        functions, traffic, FleetConfig(window_s=WINDOW_S, seed=94)
+    )
+    seconds = 0.0
+    invocations = 0
+    per_window_stats = []
+    for window_index in range(n_windows):
+        arrivals = _window_arrivals(traffic, window_index)
+        rngs = spawn_child_rngs(94, STREAM_EXECUTION, window_index, n=len(functions))
+        if fused:
+            requests = [
+                GroupRequest.for_deployed(simulator.platform, fn.name, arr, rng)
+                for fn, arr, rng in zip(functions, arrivals, rngs)
+            ]
+            start = time.perf_counter()
+            batch = simulator.backend.run_grouped(simulator.platform, requests)
+            stats, _ = batch.aggregate_stats(0.0, True)
+            seconds += time.perf_counter() - start
+            invocations += batch.n_invocations
+        else:
+            start = time.perf_counter()
+            stats = np.zeros((len(functions), len(METRIC_NAMES), len(STAT_NAMES)))
+            for i, function in enumerate(functions):
+                if arrivals[i].shape[0] == 0:
+                    continue
+                batch = simulator.platform.invoke_batch(
+                    function.name, arrivals[i], backend=simulator.backend, rng=rngs[i]
+                )
+                stats[i], _ = batch.aggregate_stats(0.0, True)
+            seconds += time.perf_counter() - start
+            invocations += int(sum(a.shape[0] for a in arrivals))
+        per_window_stats.append(stats)
+    return seconds, invocations, per_window_stats
+
+
+def test_bench_fused_window_speedup():
+    """Acceptance criterion: fused window execution >= 5x the looped path."""
+    functions, traffic = _speedup_scenario()
+    fused_seconds, total_invocations, fused_stats = execute_windows(
+        functions, traffic, fused=True
+    )
+    looped_seconds, _, looped_stats = execute_windows(functions, traffic, fused=False)
+    for fused_window, looped_window in zip(fused_stats, looped_stats):
+        np.testing.assert_array_equal(looped_window, fused_window)
+
+    speedup = looped_seconds / fused_seconds
+    print()
+    print(
+        f"fused window execution: {SPEEDUP_FUNCTIONS} functions x "
+        f"{SPEEDUP_WINDOWS} windows ({total_invocations:,} invocations): "
+        f"fused {fused_seconds * 1e3 / SPEEDUP_WINDOWS:.1f} ms/window, "
+        f"looped {looped_seconds * 1e3 / SPEEDUP_WINDOWS:.1f} ms/window "
+        f"({speedup:.1f}x, bit-identical stats)"
+    )
+    assert speedup >= _min_speedup()

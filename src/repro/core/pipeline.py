@@ -69,6 +69,10 @@ class PipelineConfig:
         ``"parallel"``.
     n_workers:
         Worker count for the parallel backend (``None`` = CPU count).
+    fused:
+        Measure the offline sweep through the fused cross-function path
+        (one columnar mega-batch per chunk/shard); ``False`` issues one
+        engine batch per (function, size) pair.  Bit-identical either way.
     shard_size:
         When set, the offline phase generates a sharded out-of-core training
         table with this many functions per on-disk shard (``None`` keeps the
@@ -90,6 +94,7 @@ class PipelineConfig:
     seed: int = 42
     backend: str = "vectorized"
     n_workers: int | None = None
+    fused: bool = True
     shard_size: int | None = None
     shard_directory: str | None = None
 
@@ -163,6 +168,7 @@ class SizelessPipeline:
             seed=self.config.seed,
             backend=self.config.backend,
             n_workers=self.config.n_workers,
+            fused=self.config.fused,
             shard_size=self.config.shard_size,
             shard_directory=self.config.shard_directory,
         )
@@ -239,6 +245,7 @@ class SizelessPipeline:
                 seed=self.config.seed + 2000,
                 backend=self.config.backend,
                 n_workers=self.config.n_workers,
+                fused=self.config.fused,
             ),
         )
         measurement = harness.measure_function(function, memory_sizes_mb=(base_size,))

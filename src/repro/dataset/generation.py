@@ -65,6 +65,11 @@ class DatasetGenerationConfig:
         (vectorized batches fanned out over worker processes).
     n_workers:
         Worker count for the parallel backend (``None`` = CPU count).
+    fused:
+        Measure through the fused cross-function path (one columnar
+        mega-batch per chunk/shard) on the batch backends; ``False`` issues
+        one engine batch per (function, size) pair.  Bit-identical numbers
+        either way.
     shard_size:
         When set, generate a sharded out-of-core table with this many
         functions per on-disk shard instead of one in-memory table
@@ -85,6 +90,7 @@ class DatasetGenerationConfig:
     generator_config: GeneratorConfig | None = field(default=None)
     backend: str = "vectorized"
     n_workers: int | None = None
+    fused: bool = True
     shard_size: int | None = None
     shard_directory: str | None = None
 
@@ -125,6 +131,7 @@ class TrainingDatasetGenerator:
             seed=self.config.seed + 2,
             backend=self.config.backend,
             n_workers=self.config.n_workers,
+            fused=self.config.fused,
         )
         self.harness = MeasurementHarness(platform=platform, config=harness_config)
 
@@ -137,6 +144,7 @@ class TrainingDatasetGenerator:
             "duration_s": self.config.duration_s,
             "seed": self.config.seed,
             "backend": self.config.backend,
+            "fused": self.config.fused,
         }
 
     def _description(self) -> str:

@@ -12,11 +12,21 @@ in seconds; the cap preserves the arrival-process shape (see
 Invocation batches run through a pluggable execution backend
 (:mod:`repro.simulation.engine`): the default ``"serial"`` backend reproduces
 the original scalar path invocation for invocation, ``"vectorized"`` computes
-whole arrival batches in numpy, and ``"parallel"`` additionally fans whole
-functions out over worker processes.  Measurement windows are aggregated
-straight from the batch columns — no per-invocation metric dictionaries are
-materialized — and each function's records are discarded from the platform
-log once aggregated, so memory stays bounded during paper-scale runs.
+whole arrival batches in numpy, and ``"parallel"`` additionally fans work out
+over worker processes.  Measurement windows are aggregated straight from the
+batch columns — no per-invocation metric dictionaries are materialized — and
+each function's records are discarded from the platform log once aggregated,
+so memory stays bounded during paper-scale runs.
+
+Every (function, size) experiment owns two private random streams — one for
+its arrival trace, one for its execution noise — spawned from the base seeds
+and the function's absolute index (:mod:`repro.simulation.seeding`).  All
+schedules therefore produce bit-identical numbers: the sequential loop, the
+chunked sharded run, the process-parallel fan-out, and the **fused** path
+(``fused=True``, the default for the batch backends), which flattens all
+(function, size) pairs of a chunk into one columnar mega-batch
+(:mod:`repro.simulation.engine.grouped`) instead of issuing
+``functions x sizes`` separate engine batches.
 """
 
 from __future__ import annotations
@@ -30,10 +40,21 @@ from repro.monitoring.aggregation import STAT_NAMES, MonitoringSummary
 from repro.monitoring.metrics import METRIC_NAMES
 from repro.dataset.schema import FunctionMeasurement
 from repro.dataset.table import MeasurementTableBuilder, measurement_stat_block
-from repro.simulation.engine import ExecutionBackend, available_backends, get_backend
+from repro.simulation.engine import (
+    ExecutionBackend,
+    GroupRequest,
+    SerialBackend,
+    available_backends,
+    get_backend,
+)
 from repro.simulation.platform import PlatformConfig, ServerlessPlatform
+from repro.simulation.seeding import STREAM_ARRIVALS, STREAM_EXECUTION, child_rng
 from repro.workloads.function import FunctionSpec
 from repro.workloads.loadgen import LoadGenerator, Workload
+
+#: Functions per fused mega-batch when no sharded sink dictates a shard size;
+#: bounds peak memory at one chunk's metric columns.
+_DEFAULT_FUSED_CHUNK = 64
 
 
 @dataclass(frozen=True)
@@ -53,7 +74,7 @@ class HarnessConfig:
     exclude_cold_starts:
         Drop cold-start invocations from the aggregation window.
     seed:
-        Seed for the load generator.
+        Base seed of the per-experiment arrival streams.
     backend:
         Execution backend name (``"serial"``, ``"vectorized"``,
         ``"parallel"``) used for invocation batches.
@@ -64,6 +85,12 @@ class HarnessConfig:
         Discard each function's per-invocation records from the platform log
         once its measurement window has been aggregated, keeping memory
         bounded during large generation runs (billing totals are preserved).
+    fused:
+        Measure tables through the fused cross-function path: one columnar
+        mega-batch per chunk instead of one engine batch per (function,
+        size) pair.  Bit-identical to the looped path (every experiment owns
+        its own streams) and much faster for the batch backends; ignored by
+        the serial backend, which stays the scalar reference.
     """
 
     memory_sizes_mb: tuple[int, ...] = (128, 256, 512, 1024, 2048, 3008)
@@ -74,6 +101,7 @@ class HarnessConfig:
     backend: str = "serial"
     n_workers: int | None = None
     stream_records: bool = True
+    fused: bool = True
 
     def __post_init__(self) -> None:
         if not self.memory_sizes_mb:
@@ -110,18 +138,60 @@ class MeasurementHarness:
             self.config.backend, n_workers=self.config.n_workers
         )
         self._load_generator = LoadGenerator(seed=self.config.seed)
+        self._auto_index = 0
+
+    # -------------------------------------------------------- group streams
+    def _arrivals_for(self, workload: Workload, index: int, size_index: int) -> np.ndarray:
+        """Sample one (function, size) experiment's private arrival trace."""
+        arrivals = self._load_generator.arrival_times(
+            workload,
+            max_requests=self.config.max_invocations_per_size,
+            rng=child_rng(self.config.seed, STREAM_ARRIVALS, index, size_index),
+        )
+        if not arrivals:
+            arrivals = [workload.warmup_s + 0.001]
+        return np.asarray(arrivals, dtype=float)
+
+    def _execution_rng(self, index: int, size_index: int) -> np.random.Generator:
+        """Spawn one (function, size) experiment's private noise stream."""
+        return child_rng(
+            self.platform.config.seed, STREAM_EXECUTION, index, size_index
+        )
+
+    def _next_index(self, index: int | None) -> int:
+        """Resolve a measurement's absolute index (auto-advancing default).
+
+        Explicit indices come from schedulers (``measure_many`` /
+        ``measure_table`` enumerate their function lists) and leave the
+        auto-counter untouched; ``None`` takes the next counter value so
+        repeated standalone calls never replay one another's streams.
+        """
+        if index is not None:
+            return int(index)
+        index = self._auto_index
+        self._auto_index += 1
+        return index
 
     def measure_function(
         self,
         function: FunctionSpec,
         memory_sizes_mb: tuple[int, ...] | None = None,
         workload: Workload | None = None,
+        index: int | None = None,
     ) -> FunctionMeasurement:
         """Measure one function at every requested memory size.
 
-        Returns a :class:`~repro.dataset.schema.FunctionMeasurement` holding
-        one aggregated summary per memory size.
+        ``index`` is the function's absolute position within the overall
+        measurement run; it selects the experiment's random streams, so a
+        scheduler measuring a list reproduces the same numbers function for
+        function.  When omitted, the harness assigns the next auto-index —
+        successive standalone calls on one harness therefore draw from
+        successive independent streams (the first standalone call equals
+        measuring the function first in a list).  Returns a
+        :class:`~repro.dataset.schema.FunctionMeasurement` holding one
+        aggregated summary per memory size.
         """
+        index = self._next_index(index)
         memory_sizes = memory_sizes_mb if memory_sizes_mb is not None else self.config.memory_sizes_mb
         load = workload if workload is not None else self.config.workload
         measurement = FunctionMeasurement(
@@ -129,8 +199,10 @@ class MeasurementHarness:
             application=function.application,
             segments=function.segments,
         )
-        for memory_mb in memory_sizes:
-            summary = self._measure_at_size(function, int(memory_mb), load)
+        for size_index, memory_mb in enumerate(memory_sizes):
+            summary = self._measure_at_size(
+                function, int(memory_mb), load, index, size_index
+            )
             measurement.add_summary(int(memory_mb), summary)
         if self.config.stream_records:
             self.platform.discard_function_records(function.name)
@@ -147,8 +219,10 @@ class MeasurementHarness:
 
         The serial and vectorized backends measure sequentially (like the
         paper's interleaved trials); the parallel backend fans whole functions
-        out over worker processes.  ``progress_callback(done, total, name)``
-        is invoked after each completed function.
+        out over worker processes — with identical numbers, since every
+        (function, size) experiment draws from its own index-derived streams.
+        ``progress_callback(done, total, name)`` is invoked after each
+        completed function.
         """
         return self.backend.measure_functions(
             self,
@@ -164,6 +238,7 @@ class MeasurementHarness:
         function: FunctionSpec,
         memory_sizes_mb: tuple[int, ...] | None = None,
         workload: Workload | None = None,
+        index: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Measure one function into a bare ``(n_sizes, n_metrics, n_stats)`` block.
 
@@ -171,14 +246,16 @@ class MeasurementHarness:
         memory size's batch is aggregated straight from the engine's batch
         columns (:meth:`BatchResult.aggregate_stats`) without materializing a
         :class:`MonitoringSummary` or any per-invocation dictionary.  Returns
-        the stat block plus the per-size invocation counts.
+        the stat block plus the per-size invocation counts.  ``index``
+        behaves as in :meth:`measure_function`.
         """
+        index = self._next_index(index)
         memory_sizes = memory_sizes_mb if memory_sizes_mb is not None else self.config.memory_sizes_mb
         load = workload if workload is not None else self.config.workload
         stats = np.zeros((len(memory_sizes), len(METRIC_NAMES), len(STAT_NAMES)))
         counts = np.zeros(len(memory_sizes), dtype=np.int64)
         for j, memory_mb in enumerate(memory_sizes):
-            batch = self._run_batch_at_size(function, int(memory_mb), load)
+            batch = self._run_batch_at_size(function, int(memory_mb), load, index, j)
             stats[j], counts[j] = batch.aggregate_stats(
                 warmup_s=load.warmup_s,
                 exclude_cold_starts=self.config.exclude_cold_starts,
@@ -186,6 +263,58 @@ class MeasurementHarness:
         if self.config.stream_records:
             self.platform.discard_function_records(function.name)
         return stats, counts
+
+    def measure_chunk_stats(
+        self,
+        functions: list[FunctionSpec],
+        index_offset: int = 0,
+        memory_sizes_mb: tuple[int, ...] | None = None,
+        workload: Workload | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Measure a function chunk as ONE fused cross-function mega-batch.
+
+        All ``len(functions) x n_sizes`` (function, size) groups are
+        flattened into a single columnar pass through the engine
+        (:meth:`ExecutionBackend.run_grouped`) and reduced to dense stat
+        blocks with segmented reductions — no per-group batches or objects.
+        Bit-identical to :meth:`measure_function_stats` per function because
+        every group draws from the same index-derived streams.
+
+        Returns
+        -------
+        tuple[numpy.ndarray, numpy.ndarray]
+            ``(n_functions, n_sizes, n_metrics, n_stats)`` stats and
+            ``(n_functions, n_sizes)`` surviving invocation counts.
+        """
+        memory_sizes = memory_sizes_mb if memory_sizes_mb is not None else self.config.memory_sizes_mb
+        load = workload if workload is not None else self.config.workload
+        requests = []
+        for k, function in enumerate(functions):
+            index = index_offset + k
+            for j, memory_mb in enumerate(memory_sizes):
+                self.platform.deploy(function.name, function.profile, int(memory_mb))
+                requests.append(
+                    GroupRequest.for_deployed(
+                        self.platform,
+                        function.name,
+                        self._arrivals_for(load, index, j),
+                        self._execution_rng(index, j),
+                        fresh_pool=True,
+                    )
+                )
+        if not requests:
+            shape = (0, len(memory_sizes), len(METRIC_NAMES), len(STAT_NAMES))
+            return np.zeros(shape), np.zeros((0, len(memory_sizes)), dtype=np.int64)
+        batch = self.backend.run_grouped(self.platform, requests)
+        stats, counts = batch.aggregate_stats(
+            warmup_s=load.warmup_s,
+            exclude_cold_starts=self.config.exclude_cold_starts,
+        )
+        n_sizes = len(memory_sizes)
+        return (
+            stats.reshape(len(functions), n_sizes, len(METRIC_NAMES), len(STAT_NAMES)),
+            counts.reshape(len(functions), n_sizes),
+        )
 
     def measure_table(
         self,
@@ -199,12 +328,14 @@ class MeasurementHarness:
     ):
         """Measure a list of functions into a columnar measurement table.
 
-        The array-first counterpart of :meth:`measure_many`: for the
-        sequential backends each (function, size) batch flows from the engine
-        columns into the table without any per-summary objects.  Backends
-        that override function scheduling (the parallel backend) measure
-        through their object path and are columnarized afterwards — the
-        numbers are identical either way.
+        The array-first counterpart of :meth:`measure_many`.  With the batch
+        backends and ``fused=True`` (the default) the run executes one fused
+        cross-function mega-batch per chunk — one chunk per shard when
+        streaming into a sharded sink, :data:`_DEFAULT_FUSED_CHUNK` functions
+        otherwise — instead of ``functions x sizes`` separate engine batches;
+        the parallel backend fans whole chunks out over worker processes.
+        The serial backend (and ``fused=False``) measures one batch per
+        (function, size) pair.  All schedules produce bit-identical tables.
 
         ``sink`` selects where the stat blocks land.  By default a fresh
         :class:`~repro.dataset.table.MeasurementTableBuilder` collects them
@@ -234,6 +365,38 @@ class MeasurementHarness:
                     f"sink expects memory sizes {sink_sizes}, harness measures "
                     f"{memory_sizes}"
                 )
+        shard_size = int(getattr(sink, "shard_size", 0) or 0)
+        if self.config.fused and not isinstance(self.backend, SerialBackend):
+            # Fused path: one columnar mega-batch per chunk.  The chunk is
+            # capped at the memory-bounding default even when a sharded sink
+            # uses larger shards (the sink buffers rows until a shard fills,
+            # so chunking below the shard size never changes the output).
+            chunk_size = min(
+                shard_size or _DEFAULT_FUSED_CHUNK,
+                _DEFAULT_FUSED_CHUNK,
+                len(functions) or _DEFAULT_FUSED_CHUNK,
+            )
+
+            def on_chunk(chunk_start, chunk, stats, counts):
+                for k, function in enumerate(chunk):
+                    sink.add_function(
+                        function.name,
+                        application=function.application,
+                        segments=function.segments,
+                        stats=stats[k],
+                        counts=counts[k],
+                    )
+
+            self.backend.measure_stat_chunks(
+                self,
+                functions,
+                memory_sizes_mb=memory_sizes,
+                workload=workload,
+                chunk_size=chunk_size,
+                on_chunk=on_chunk,
+                progress_callback=progress_callback,
+            )
+            return sink.build()
         overridden = (
             type(self.backend).measure_functions is not ExecutionBackend.measure_functions
         )
@@ -241,13 +404,10 @@ class MeasurementHarness:
             # Scheduling backends return whole FunctionMeasurement lists, so
             # a sharding sink would otherwise see the entire run materialized
             # at once.  Chunk the run by the sink's shard size instead —
-            # backends seed by absolute index (index_offset), so the chunked
-            # numbers equal the single-call numbers — keeping the peak at one
-            # shard's worth of measurement objects.  The parallel backend
-            # starts a fresh worker pool per chunk; on fork-based platforms
-            # that is milliseconds, and a shard is large enough to amortize
-            # it elsewhere.
-            chunk_size = int(getattr(sink, "shard_size", 0) or len(functions) or 1)
+            # per-group streams derive from absolute indices (index_offset),
+            # so the chunked numbers equal the single-call numbers — keeping
+            # the peak at one shard's worth of measurement objects.
+            chunk_size = shard_size or len(functions) or 1
             for chunk_start in range(0, len(functions), chunk_size):
                 chunk = functions[chunk_start : chunk_start + chunk_size]
                 measurements = self.backend.measure_functions(
@@ -276,7 +436,7 @@ class MeasurementHarness:
             return sink.build()
         for index, function in enumerate(functions):
             stats, counts = self.measure_function_stats(
-                function, memory_sizes_mb=memory_sizes, workload=workload
+                function, memory_sizes_mb=memory_sizes, workload=workload, index=index
             )
             sink.add_function(
                 function.name,
@@ -291,21 +451,31 @@ class MeasurementHarness:
 
     # ------------------------------------------------------------------ internal
     def _run_batch_at_size(
-        self, function: FunctionSpec, memory_mb: int, workload: Workload
+        self,
+        function: FunctionSpec,
+        memory_mb: int,
+        workload: Workload,
+        index: int,
+        size_index: int,
     ):
         """Deploy at one size and run the arrival batch through the backend."""
         self.platform.deploy(function.name, function.profile, memory_mb)
-        arrivals = self._load_generator.arrival_times(
-            workload, max_requests=self.config.max_invocations_per_size
+        return self.platform.invoke_batch(
+            function.name,
+            self._arrivals_for(workload, index, size_index),
+            backend=self.backend,
+            rng=self._execution_rng(index, size_index),
         )
-        if not arrivals:
-            arrivals = [workload.warmup_s + 0.001]
-        return self.platform.invoke_batch(function.name, arrivals, backend=self.backend)
 
     def _measure_at_size(
-        self, function: FunctionSpec, memory_mb: int, workload: Workload
+        self,
+        function: FunctionSpec,
+        memory_mb: int,
+        workload: Workload,
+        index: int,
+        size_index: int,
     ) -> MonitoringSummary:
-        batch = self._run_batch_at_size(function, memory_mb, workload)
+        batch = self._run_batch_at_size(function, memory_mb, workload, index, size_index)
         return batch.aggregate(
             warmup_s=workload.warmup_s,
             exclude_cold_starts=self.config.exclude_cold_starts,

@@ -55,6 +55,7 @@ class ExperimentScale:
     seed: int = 42
     backend: str = "vectorized"
     n_workers: int | None = None
+    fused: bool = True
     shard_size: int | None = None
     shard_directory: str | None = None
 
@@ -132,6 +133,7 @@ class ExperimentContext:
                     seed=self.scale.seed,
                     backend=self.scale.backend,
                     n_workers=self.scale.n_workers,
+                    fused=self.scale.fused,
                     shard_size=self.scale.shard_size,
                     shard_directory=self.scale.shard_directory,
                 )
@@ -203,6 +205,7 @@ class ExperimentContext:
                             seed=seed + 1,
                             backend=self.scale.backend,
                             n_workers=self.scale.n_workers,
+                            fused=self.scale.fused,
                         ),
                     )
                     repetitions.append(

@@ -9,16 +9,18 @@ memory size, serving time-varying traffic around the clock.
 :class:`FleetSimulator` models that production side.  It deploys a whole
 fleet on one :class:`~repro.simulation.platform.ServerlessPlatform`, assigns
 every function a :class:`~repro.workloads.traffic.TrafficModel`, and advances
-virtual time in fixed monitoring windows.  Each :meth:`run_window` call
-drives every function's window arrivals through the pluggable execution
-engine (``serial`` / ``vectorized`` / ``parallel`` batches via
-:meth:`~repro.simulation.platform.ServerlessPlatform.invoke_batch`) and
-reduces each batch straight to its ``(n_metrics, n_stats)`` stat row
-(:meth:`~repro.simulation.engine.BatchResult.aggregate_stats`) — the same
-columnar machinery the measurement tables are built from, with no
-per-invocation or per-summary objects.  The result is one
-:class:`FleetWindow` of dense per-function monitoring arrays, which the
-rightsizing controller (:mod:`repro.fleet.controller`) consumes.
+virtual time in fixed monitoring windows.  By default each :meth:`run_window`
+call executes the whole fleet as **one fused cross-function mega-batch**
+(:meth:`~repro.simulation.engine.ExecutionBackend.run_grouped`): every
+function's window arrivals are flattened into single columnar arrays with a
+group-id structure and reduced straight to the dense
+``(n_functions, n_metrics, n_stats)`` window stats with segmented reductions
+— no per-function batches, no per-summary objects.  With ``fused=False`` the
+simulator issues one engine batch per function instead (the looped reference
+path, bit-identical because every (function, window) pair owns private
+traffic and noise streams spawned via :mod:`repro.simulation.seeding`).  The
+result is one :class:`FleetWindow` of dense per-function monitoring arrays,
+which the rightsizing controller (:mod:`repro.fleet.controller`) consumes.
 
 Memory stays bounded by one window: batch columns are transient, per-function
 records are discarded from the platform log after aggregation, and the
@@ -34,8 +36,14 @@ import numpy as np
 from repro.errors import ConfigurationError, SimulationError
 from repro.monitoring.aggregation import STAT_NAMES
 from repro.monitoring.metrics import METRIC_NAMES
-from repro.simulation.engine import ExecutionBackend, available_backends, get_backend
+from repro.simulation.engine import (
+    ExecutionBackend,
+    GroupRequest,
+    available_backends,
+    get_backend,
+)
 from repro.simulation.platform import PlatformConfig, ServerlessPlatform
+from repro.simulation.seeding import STREAM_EXECUTION, STREAM_TRAFFIC, spawn_child_rngs
 from repro.workloads.function import FunctionSpec
 from repro.workloads.traffic import TrafficModel
 
@@ -79,7 +87,13 @@ class FleetConfig:
         Discard per-invocation records from the platform log after each
         window (keeps memory bounded; billing totals are preserved).
     seed:
-        Seed of the platform noise and the traffic sampling stream.
+        Base seed of the per-(function, window) traffic and noise streams.
+    fused:
+        Execute each monitoring window as one fused cross-function
+        mega-batch (the default) instead of one engine batch per function.
+        Bit-identical either way — every (function, window) pair draws from
+        its own spawned streams — but the fused path is several times
+        faster at fleet scale (see ``benchmarks/test_bench_fleet.py``).
     """
 
     window_s: float = 3600.0
@@ -91,6 +105,7 @@ class FleetConfig:
     max_arrivals_per_window: int | None = None
     stream_records: bool = True
     seed: int = 0
+    fused: bool = True
 
     def __post_init__(self) -> None:
         """Validate window geometry, sizes and backend selection."""
@@ -216,7 +231,6 @@ class FleetSimulator:
         self.backend: ExecutionBackend = get_backend(
             self.config.backend, n_workers=self.config.n_workers
         )
-        self._traffic_rng = np.random.default_rng(self.config.seed + 1)
         self._clock_s = 0.0
         self._window_index = 0
         self._memory_mb = np.full(
@@ -267,36 +281,85 @@ class FleetSimulator:
         self._memory_mb[int(function_index)] = memory_mb
 
     # ----------------------------------------------------------------- window
-    def _window_arrivals(self, index: int, start_s: float, end_s: float) -> np.ndarray:
-        """Sample (and optionally cap) one function's window arrivals."""
-        arrivals = self.traffic[index].arrivals(start_s, end_s, self._traffic_rng)
+    def _window_arrivals(
+        self, index: int, start_s: float, end_s: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample (and optionally cap) one function's window arrivals.
+
+        Arrivals draw from the (window, function) pair's private traffic
+        stream, so the trace of one function does not depend on how many
+        arrivals its neighbours produced — and fused and looped window
+        execution see identical traffic.
+        """
+        arrivals = self.traffic[index].arrivals(start_s, end_s, rng)
         cap = self.config.max_arrivals_per_window
         if cap is not None and arrivals.shape[0] > cap:
             keep = np.linspace(0, arrivals.shape[0] - 1, cap).astype(int)
             arrivals = arrivals[keep]
         return arrivals
 
-    def run_window(self) -> FleetWindow:
-        """Simulate the next monitoring window for the whole fleet.
+    def _window_rngs(self) -> tuple[list[np.random.Generator], list[np.random.Generator]]:
+        """Spawn this window's per-function traffic and noise streams."""
+        return (
+            spawn_child_rngs(
+                self.config.seed, STREAM_TRAFFIC, self._window_index,
+                n=self.n_functions,
+            ),
+            spawn_child_rngs(
+                self.platform.config.seed, STREAM_EXECUTION, self._window_index,
+                n=self.n_functions,
+            ),
+        )
 
-        Every function's arrivals run as one engine batch; each batch is
-        reduced to its stat row straight from the batch columns.  Functions
-        without traffic produce zero rows (``n_invocations`` 0).
-        """
-        start_s = self._clock_s
-        end_s = start_s + self.config.window_s
+    def _run_window_fused(
+        self, start_s: float, end_s: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Execute the whole fleet window as one fused mega-batch."""
+        traffic_rngs, execution_rngs = self._window_rngs()
+        requests = [
+            GroupRequest.for_deployed(
+                self.platform,
+                function.name,
+                self._window_arrivals(i, start_s, end_s, traffic_rngs[i]),
+                execution_rngs[i],
+            )
+            for i, function in enumerate(self.functions)
+        ]
+        batch = self.backend.run_grouped(self.platform, requests)
+        stats, n_invocations = batch.aggregate_stats(
+            warmup_s=0.0, exclude_cold_starts=self.config.exclude_cold_starts
+        )
+        if self.config.stream_records:
+            # The batch backends materialize no records, but the serial
+            # backend's scalar path appends every invocation to the platform
+            # log — drop the window's records in one pass so memory stays
+            # bounded by one window regardless of backend.
+            self.platform.discard_all_records()
+        return (
+            stats,
+            n_invocations,
+            batch.group_sizes(),
+            batch.cold_starts_per_group(),
+            batch.cost_per_group(),
+        )
+
+    def _run_window_looped(
+        self, start_s: float, end_s: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Execute the fleet window as one engine batch per function."""
         n = self.n_functions
+        traffic_rngs, execution_rngs = self._window_rngs()
         stats = np.zeros((n, len(METRIC_NAMES), len(STAT_NAMES)), dtype=float)
         n_invocations = np.zeros(n, dtype=np.int64)
         n_arrivals = np.zeros(n, dtype=np.int64)
         n_cold = np.zeros(n, dtype=np.int64)
         cost = np.zeros(n, dtype=float)
         for i, function in enumerate(self.functions):
-            arrivals = self._window_arrivals(i, start_s, end_s)
+            arrivals = self._window_arrivals(i, start_s, end_s, traffic_rngs[i])
             if arrivals.shape[0] == 0:
                 continue
             batch = self.platform.invoke_batch(
-                function.name, arrivals, backend=self.backend
+                function.name, arrivals, backend=self.backend, rng=execution_rngs[i]
             )
             stats[i], n_invocations[i] = batch.aggregate_stats(
                 warmup_s=0.0, exclude_cold_starts=self.config.exclude_cold_starts
@@ -306,6 +369,27 @@ class FleetSimulator:
             cost[i] = batch.total_cost_usd
             if self.config.stream_records:
                 self.platform.discard_function_records(function.name)
+        return stats, n_invocations, n_arrivals, n_cold, cost
+
+    def run_window(self) -> FleetWindow:
+        """Simulate the next monitoring window for the whole fleet.
+
+        By default the whole fleet executes as one fused cross-function
+        mega-batch reduced straight to per-function stat rows with segmented
+        reductions; with ``fused=False`` every function's arrivals run as
+        their own engine batch.  Both paths are bit-identical.  Functions
+        without traffic produce zero rows (``n_invocations`` 0).
+        """
+        start_s = self._clock_s
+        end_s = start_s + self.config.window_s
+        if self.config.fused:
+            stats, n_invocations, n_arrivals, n_cold, cost = self._run_window_fused(
+                start_s, end_s
+            )
+        else:
+            stats, n_invocations, n_arrivals, n_cold, cost = self._run_window_looped(
+                start_s, end_s
+            )
         window = FleetWindow(
             index=self._window_index,
             start_s=start_s,

@@ -125,6 +125,154 @@ def aggregate_records(
     )
 
 
+def validate_group_offsets(offsets: np.ndarray, n_invocations: int) -> np.ndarray:
+    """Validate segmented group boundaries over a flat invocation axis.
+
+    Parameters
+    ----------
+    offsets:
+        ``(n_groups + 1,)`` integer boundaries: group ``g`` spans the
+        half-open slice ``[offsets[g], offsets[g + 1])``.  Must start at 0,
+        end at ``n_invocations`` and be monotonically non-decreasing (empty
+        groups are allowed).
+    n_invocations:
+        Length of the flat invocation axis the offsets partition.
+
+    Returns
+    -------
+    numpy.ndarray
+        The validated offsets as a contiguous ``int64`` array.
+
+    Raises
+    ------
+    MonitoringError
+        If the offsets are not a 1-D partition of ``[0, n_invocations]``.
+    """
+    offsets = np.asarray(offsets)
+    if offsets.ndim != 1 or offsets.shape[0] < 2:
+        raise MonitoringError(
+            "group offsets must be a 1-D array of at least 2 boundaries, "
+            f"got shape {offsets.shape}"
+        )
+    if not np.issubdtype(offsets.dtype, np.integer):
+        raise MonitoringError(f"group offsets must be integers, got dtype {offsets.dtype}")
+    offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+    if offsets[0] != 0 or offsets[-1] != int(n_invocations):
+        raise MonitoringError(
+            f"group offsets must run from 0 to {int(n_invocations)}, "
+            f"got [{offsets[0]}, {offsets[-1]}]"
+        )
+    if np.any(np.diff(offsets) < 0):
+        raise MonitoringError("group offsets must be monotonically non-decreasing")
+    return offsets
+
+
+def _segment_sums(matrix: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Sum contiguous column segments of ``matrix`` starting at ``starts``.
+
+    The single summation primitive of the aggregation layer (a thin wrapper
+    over :func:`numpy.add.reduceat`).  Both the one-group
+    :func:`stat_matrix` and the segmented :func:`grouped_stat_blocks` reduce
+    through it, which is what makes fused (cross-function) and looped
+    (per-function) aggregation bit-identical: ``reduceat`` reduces each
+    segment independently, so a segment inside a larger concatenated array
+    sums to exactly the same float as the segment reduced on its own.
+    """
+    if starts.shape[0] == 0:
+        return np.zeros((matrix.shape[0], 0))
+    return np.add.reduceat(matrix, starts, axis=1)
+
+
+def grouped_stat_blocks(
+    metrics: dict[str, np.ndarray],
+    offsets: np.ndarray,
+    cold_start: np.ndarray | None = None,
+    exclude_cold_starts: bool = True,
+    window: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce a flat multi-group metric batch to per-group stat blocks.
+
+    The segmented counterpart of :func:`stat_matrix` and the reduction core
+    of the fused cross-function execution path: per-invocation metric columns
+    of *many* (function, size) groups, concatenated group-major, are reduced
+    straight to a dense ``(n_groups, n_metrics, n_stats)`` block with
+    segmented sums (:func:`numpy.add.reduceat` over the group boundaries) —
+    no per-group Python loop, no per-group result objects.
+
+    Parameters
+    ----------
+    metrics:
+        One ``(n,)`` sample array per Table-1 metric, all groups concatenated
+        along the invocation axis in group order.
+    offsets:
+        ``(n_groups + 1,)`` group boundaries (see
+        :func:`validate_group_offsets`).  Empty groups yield all-zero stat
+        rows with an invocation count of 0.
+    cold_start:
+        Optional ``(n,)`` boolean cold-start mask.
+    exclude_cold_starts:
+        Drop cold-started invocations, per group falling back to including
+        them when a group is all-cold (same semantics as
+        :func:`stat_matrix`).
+    window:
+        Optional ``(n,)`` boolean measurement-window mask, per group falling
+        back to the whole group when nothing survives.
+
+    Returns
+    -------
+    tuple[numpy.ndarray, numpy.ndarray]
+        The ``(n_groups, n_metrics, n_stats)`` stat blocks and the
+        ``(n_groups,)`` surviving invocation counts.
+    """
+    missing = set(METRIC_NAMES) - set(metrics)
+    if missing:
+        raise MonitoringError(f"missing metrics: {sorted(missing)}")
+    matrix = np.stack([np.asarray(metrics[metric], dtype=float) for metric in METRIC_NAMES])
+    n = matrix.shape[1]
+    offsets = validate_group_offsets(offsets, n)
+    n_groups = offsets.shape[0] - 1
+    sizes = np.diff(offsets)
+    group_ids = np.repeat(np.arange(n_groups), sizes)
+
+    if window is None:
+        keep = np.ones(n, dtype=bool)
+    else:
+        keep = np.asarray(window, dtype=bool)
+        if keep.shape != (n,):
+            raise MonitoringError(f"window mask must have shape ({n},), got {keep.shape}")
+        kept_per_group = np.bincount(group_ids, weights=keep, minlength=n_groups)
+        empty_window = (kept_per_group == 0) & (sizes > 0)
+        if np.any(empty_window):
+            keep = keep | empty_window[group_ids]
+    if exclude_cold_starts and cold_start is not None:
+        cold = np.asarray(cold_start, dtype=bool)
+        if cold.shape != (n,):
+            raise MonitoringError(f"cold mask must have shape ({n},), got {cold.shape}")
+        warm = keep & ~cold
+        warm_per_group = np.bincount(group_ids, weights=warm, minlength=n_groups)
+        keep = np.where((warm_per_group > 0)[group_ids], warm, keep)
+
+    counts = np.bincount(group_ids, weights=keep, minlength=n_groups).astype(np.int64)
+    kept = matrix[:, keep]
+    kept_ids = group_ids[keep]
+    nonempty = counts > 0
+    starts = np.zeros(n_groups, dtype=np.int64)
+    starts[1:] = np.cumsum(counts)[:-1]
+
+    sums = _segment_sums(kept, starts[nonempty])
+    means_ne = sums / counts[nonempty]
+    means = np.zeros((len(METRIC_NAMES), n_groups))
+    means[:, nonempty] = means_ne
+    centered = kept - means[:, kept_ids]
+    stds_ne = np.sqrt(_segment_sums(centered * centered, starts[nonempty]) / counts[nonempty])
+    safe = np.abs(means_ne) > 1e-12
+    cvs_ne = np.divide(stds_ne, means_ne, out=np.zeros_like(stds_ne), where=safe)
+
+    blocks = np.zeros((n_groups, len(METRIC_NAMES), len(STAT_NAMES)))
+    blocks[nonempty] = np.stack([means_ne, stds_ne, cvs_ne], axis=-1).transpose(1, 0, 2)
+    return blocks, counts
+
+
 def stat_matrix(
     metrics: dict[str, np.ndarray],
     cold_start: np.ndarray | None = None,
@@ -141,32 +289,24 @@ def stat_matrix(
     falls back to including the cold starts.
 
     This is the single code path every aggregation flows through — the object
-    API (:func:`aggregate_arrays`) and the columnar measurement table
-    (:class:`~repro.dataset.table.MeasurementTable`) both wrap it, so their
-    numbers are bit-identical.
+    API (:func:`aggregate_arrays`), the columnar measurement table
+    (:class:`~repro.dataset.table.MeasurementTable`) and the fused grouped
+    path all wrap it or its segmented core :func:`grouped_stat_blocks` (this
+    function *is* the one-group case of that core), so their numbers are
+    bit-identical.
     """
-    missing = set(METRIC_NAMES) - set(metrics)
-    if missing:
-        raise MonitoringError(f"missing metrics: {sorted(missing)}")
-    matrix = np.stack([np.asarray(metrics[metric], dtype=float) for metric in METRIC_NAMES])
-    if matrix.shape[1] == 0:
+    first = next((metrics[m] for m in METRIC_NAMES if m in metrics), None)
+    if first is not None and np.asarray(first).shape[0] == 0:
         raise MonitoringError("cannot aggregate an empty metric batch")
-
-    n = matrix.shape[1]
-    keep = np.ones(n, dtype=bool) if window is None else np.asarray(window, dtype=bool)
-    if not np.any(keep):
-        keep = np.ones(n, dtype=bool)
-    if exclude_cold_starts and cold_start is not None:
-        warm = keep & ~np.asarray(cold_start, dtype=bool)
-        if np.any(warm):
-            keep = warm
-    matrix = matrix[:, keep]
-
-    means = matrix.mean(axis=1)
-    stds = matrix.std(axis=1)
-    safe = np.abs(means) > 1e-12
-    cvs = np.divide(stds, means, out=np.zeros_like(stds), where=safe)
-    return np.stack([means, stds, cvs], axis=1), int(matrix.shape[1])
+    n = int(np.asarray(first).shape[0]) if first is not None else 0
+    blocks, counts = grouped_stat_blocks(
+        metrics,
+        np.array([0, n], dtype=np.int64),
+        cold_start=cold_start,
+        exclude_cold_starts=exclude_cold_starts,
+        window=window,
+    )
+    return blocks[0], int(counts[0])
 
 
 def summary_from_stats(

@@ -217,9 +217,128 @@ class ExecutionBackend(abc.ABC):
 
     @abc.abstractmethod
     def run_batch(
-        self, platform: "ServerlessPlatform", function_name: str, arrivals: np.ndarray
+        self,
+        platform: "ServerlessPlatform",
+        function_name: str,
+        arrivals: np.ndarray,
+        rng: np.random.Generator | None = None,
     ) -> BatchResult:
-        """Execute one sorted arrival batch of a deployed function."""
+        """Execute one sorted arrival batch of a deployed function.
+
+        ``rng`` optionally overrides the noise stream of this batch (the
+        per-group streams spawned by :mod:`repro.simulation.seeding`);
+        ``None`` keeps the platform's shared generator.
+        """
+
+    def run_grouped(self, platform: "ServerlessPlatform", requests):
+        """Execute many (function, size) groups into one grouped result.
+
+        The default schedules one :meth:`run_batch` call per group — the
+        *looped* reference path — and concatenates the per-group columns into
+        a :class:`~repro.simulation.engine.grouped.GroupedBatch`.  The
+        vectorized backend overrides this with the fused single-pass
+        executor; both produce bit-identical numbers because every group
+        draws its noise from its own request stream.
+        """
+        from repro.monitoring.metrics import METRIC_NAMES
+        from repro.simulation.engine.grouped import GroupedBatch
+
+        if not requests:
+            raise SimulationError("run_grouped needs at least one group request")
+        offsets = np.zeros(len(requests) + 1, dtype=np.int64)
+        batches = []
+        for g, request in enumerate(requests):
+            # Execute against the deployment captured at request-build time:
+            # a multi-size group list (the harness measuring one function at
+            # several sizes) holds requests whose deployment is no longer
+            # the platform's current one, so redeploy it before the batch
+            # (redeploying also drops warm instances, like the fused path's
+            # fresh_pool reset does).
+            if platform._functions.get(request.function_name) is not request.deployment:
+                platform.deploy(
+                    request.function_name,
+                    request.deployment.profile,
+                    request.deployment.memory_mb,
+                )
+            elif request.fresh_pool:
+                platform._instances[request.function_name] = []
+            offsets[g + 1] = offsets[g] + int(request.arrivals.shape[0])
+            if request.arrivals.shape[0] == 0:
+                batches.append(None)
+                continue
+            batches.append(
+                self.run_batch(
+                    platform, request.function_name, request.arrivals, rng=request.rng
+                )
+            )
+
+        def column(attribute, empty):
+            parts = [
+                getattr(batch, attribute) if batch is not None else empty
+                for batch in batches
+            ]
+            return np.concatenate(parts)
+
+        none = np.empty(0)
+        return GroupedBatch(
+            function_names=tuple(r.function_name for r in requests),
+            memory_mb=np.array([r.memory_mb for r in requests], dtype=float),
+            offsets=offsets,
+            timestamps_s=column("timestamps_s", none),
+            execution_time_ms=column("execution_time_ms", none),
+            init_duration_ms=column("init_duration_ms", none),
+            cold_start=column("cold_start", np.empty(0, dtype=bool)),
+            instance_ids=column("instance_ids", np.empty(0, dtype=np.int64)),
+            cost_usd=column("cost_usd", none),
+            billed_duration_ms=column("billed_duration_ms", none),
+            metrics={
+                name: np.concatenate(
+                    [
+                        batch.metrics[name] if batch is not None else none
+                        for batch in batches
+                    ]
+                )
+                for name in METRIC_NAMES
+            },
+        )
+
+    def measure_stat_chunks(
+        self,
+        harness,
+        functions: list["FunctionSpec"],
+        memory_sizes_mb: tuple[int, ...] | None = None,
+        workload: "Workload | None" = None,
+        chunk_size: int | None = None,
+        on_chunk: Callable | None = None,
+        progress_callback: Callable[[int, int, str], None] | None = None,
+        index_offset: int = 0,
+    ) -> None:
+        """Measure functions chunk-wise through the fused grouped path.
+
+        The default runs each chunk as one in-process fused mega-batch
+        (:meth:`repro.dataset.harness.MeasurementHarness.measure_chunk_stats`)
+        and hands its dense stat blocks to ``on_chunk(chunk_start, chunk,
+        stats, counts)`` in order; the parallel backend overrides this to fan
+        chunks out over worker processes.  ``chunk_size`` bounds peak memory
+        (one chunk's metric columns); per-group streams derive from absolute
+        indices, so chunking never changes the numbers.
+        """
+        total = len(functions)
+        step = int(chunk_size) if chunk_size else total
+        step = max(1, min(step, total)) if total else 1
+        for start in range(0, total, step):
+            chunk = functions[start : start + step]
+            stats, counts = harness.measure_chunk_stats(
+                chunk,
+                index_offset=index_offset + start,
+                memory_sizes_mb=memory_sizes_mb,
+                workload=workload,
+            )
+            if on_chunk is not None:
+                on_chunk(start, chunk, stats, counts)
+            if progress_callback is not None:
+                for k, function in enumerate(chunk):
+                    progress_callback(start + k + 1, total, function.name)
 
     def measure_functions(
         self,
@@ -233,17 +352,19 @@ class ExecutionBackend(abc.ABC):
         """Measure a list of functions through a harness (sequential default).
 
         ``index_offset`` is the absolute position of ``functions[0]`` within
-        the overall measurement run.  Backends that derive per-function seeds
-        from that position (the parallel backend) honour it so that
-        measuring a long list in chunks reproduces the single-call results
-        exactly; the sequential default threads one shared random stream and
-        ignores it.
+        the overall measurement run.  Every per-group random stream derives
+        from that absolute position (:mod:`repro.simulation.seeding`), so a
+        chunked caller (the harness streaming into a sharded sink), a worker
+        process and this sequential default all reproduce the same numbers.
         """
         measurements = []
         for index, function in enumerate(functions):
             measurements.append(
                 harness.measure_function(
-                    function, memory_sizes_mb=memory_sizes_mb, workload=workload
+                    function,
+                    memory_sizes_mb=memory_sizes_mb,
+                    workload=workload,
+                    index=index_offset + index,
                 )
             )
             if progress_callback is not None:

@@ -1,30 +1,70 @@
 """Process-parallel execution backend.
 
 Per-batch execution is delegated to the vectorized backend; the parallelism
-operates one level up, where a harness measures many functions: whole
-functions (all memory sizes) are fanned out over ``concurrent.futures``
-worker processes.  Every worker builds its own platform with a seed derived
-deterministically from the parent platform's seed and the function index, so
-results are reproducible regardless of worker count or scheduling order —
-statistically equivalent to the serial schedule, which threads one shared
-random stream through all functions.
+operates one level up, where a harness measures many functions:
+
+- the object path (:meth:`ParallelBackend.measure_functions`) fans whole
+  functions (all memory sizes) out over ``concurrent.futures`` worker
+  processes;
+- the fused columnar path (:meth:`ParallelBackend.measure_stat_chunks`) fans
+  *group chunks* out: every worker executes one fused cross-function
+  mega-batch (:mod:`repro.simulation.engine.grouped`) for its slice of
+  functions and ships back only the dense stat blocks.
+
+Every (function, size) group draws its noise from a stream spawned from the
+parent's seeds and the function's *absolute* index
+(:mod:`repro.simulation.seeding`), so results are bit-identical regardless
+of worker count, chunking or scheduling order — and identical to the
+sequential vectorized schedule.
 """
 
 from __future__ import annotations
 
 import os
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, as_completed, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
 
-import numpy as np
-
 from repro.simulation.engine.base import ExecutionBackend, register_backend
+from repro.simulation.engine.grouped import run_grouped
 from repro.simulation.engine.vectorized import VectorizedBackend
 
-#: Seed stride between per-function worker platforms.
-_SEED_STRIDE = 10_007
+
+def _worker_configs(harness):
+    """Clone the parent's harness/platform configs for a worker process.
+
+    Seeds are left untouched: per-group streams derive from the base seeds
+    and the absolute function index, so a worker reproduces exactly the
+    numbers the sequential schedule would produce for the same functions.
+    The worker always executes vectorized (no nested pools).
+    """
+    return (
+        replace(harness.config, backend="vectorized", n_workers=None),
+        harness.platform.config,
+        harness.platform.execution_model,
+        harness.platform.cold_start_model,
+        harness.platform.pricing_model,
+    )
+
+
+def _build_worker_harness(payload_configs):
+    """Rebuild a platform + harness pair inside a worker process."""
+    # Imported lazily: the engine package must stay importable without the
+    # dataset layer (which itself imports the engine).
+    from repro.dataset.harness import MeasurementHarness
+    from repro.simulation.platform import ServerlessPlatform
+
+    harness_config, platform_config, execution_model, cold_start_model, pricing_model = (
+        payload_configs
+    )
+    platform = ServerlessPlatform(
+        config=platform_config,
+        execution_model=execution_model,
+        cold_start_model=cold_start_model,
+        pricing_model=pricing_model,
+    )
+    return MeasurementHarness(platform=platform, config=harness_config)
 
 
 def _measure_function_task(payload):
@@ -33,32 +73,31 @@ def _measure_function_task(payload):
     Returns the measurement together with the function's billed cost so the
     parent can fold worker billing into its own platform totals.
     """
-    (
-        function,
-        harness_config,
-        platform_config,
-        execution_model,
-        cold_start_model,
-        pricing_model,
-        memory_sizes_mb,
-        workload,
-    ) = payload
-    # Imported lazily: the engine package must stay importable without the
-    # dataset layer (which itself imports the engine).
-    from repro.dataset.harness import MeasurementHarness
-    from repro.simulation.platform import ServerlessPlatform
-
-    platform = ServerlessPlatform(
-        config=platform_config,
-        execution_model=execution_model,
-        cold_start_model=cold_start_model,
-        pricing_model=pricing_model,
-    )
-    harness = MeasurementHarness(platform=platform, config=harness_config)
+    function, index, configs, memory_sizes_mb, workload = payload
+    harness = _build_worker_harness(configs)
     measurement = harness.measure_function(
-        function, memory_sizes_mb=memory_sizes_mb, workload=workload
+        function, memory_sizes_mb=memory_sizes_mb, workload=workload, index=index
     )
-    return measurement, platform.total_cost_usd(function.name)
+    return measurement, harness.platform.total_cost_usd(function.name)
+
+
+def _measure_chunk_stats_task(payload):
+    """Measure one function chunk as a fused mega-batch (worker process).
+
+    Returns the chunk's dense stat blocks, invocation counts and per-function
+    billed costs — arrays only, no measurement objects cross the process
+    boundary.
+    """
+    functions, index_offset, configs, memory_sizes_mb, workload = payload
+    harness = _build_worker_harness(configs)
+    stats, counts = harness.measure_chunk_stats(
+        functions,
+        index_offset=index_offset,
+        memory_sizes_mb=memory_sizes_mb,
+        workload=workload,
+    )
+    costs = [harness.platform.total_cost_usd(function.name) for function in functions]
+    return stats, counts, costs
 
 
 @register_backend
@@ -68,12 +107,20 @@ class ParallelBackend(ExecutionBackend):
     name = "parallel"
 
     def __init__(self, n_workers: int | None = None) -> None:
+        """Create the backend with an optional worker count (None = CPUs)."""
         super().__init__(n_workers)
         self._vectorized = VectorizedBackend()
 
-    def run_batch(self, platform, function_name: str, arrivals: np.ndarray):
+    def run_batch(self, platform, function_name, arrivals, rng=None):
         """A single batch has no function-level parallelism; run it vectorized."""
-        return self._vectorized.run_batch(platform, function_name, arrivals)
+        return self._vectorized.run_batch(platform, function_name, arrivals, rng=rng)
+
+    def run_grouped(self, platform, requests):
+        """A single mega-batch shares one platform; run it fused in-process."""
+        return run_grouped(platform, requests)
+
+    def _max_workers(self, n_tasks: int) -> int:
+        return self.n_workers or min(n_tasks, os.cpu_count() or 1)
 
     def measure_functions(
         self,
@@ -84,57 +131,33 @@ class ParallelBackend(ExecutionBackend):
         progress_callback=None,
         index_offset=0,
     ):
-        """Measure every function on its own derived-seed platform.
+        """Measure every function on its own worker platform (object path).
 
         All platform state (deployments, warm instances, retained records)
         lives in the per-function worker platforms and is discarded with
         them; only measurements and billing totals flow back to the parent,
         so ``stream_records=False`` has no effect here and post-measurement
-        platform queries on the parent see no deployments.  Because of the
-        per-function seeding, ``measure_many([f])[0]`` is reproducible across
-        worker counts but differs from ``measure_function(f)``, which runs on
-        the parent platform's shared random stream.  Seeds derive from each
-        function's *absolute* index (``index_offset`` + position), so a
-        chunked caller (the harness streaming into a sharded sink) gets the
-        same numbers as a single call over the whole list.
+        platform queries on the parent see no deployments.  Because every
+        (function, size) group draws from a stream derived from the
+        function's *absolute* index (``index_offset`` + position), the
+        numbers are identical across worker counts, chunkings and the
+        sequential vectorized schedule.
         """
         if not functions:
             return []
         platform = harness.platform
+        configs = _worker_configs(harness)
         payloads = [
-            (
-                function,
-                # The harness seed drives the load generator: vary it per
-                # function (like the platform seed) so workers do not all
-                # replay one arrival trace.
-                replace(
-                    harness.config,
-                    backend="vectorized",
-                    n_workers=None,
-                    seed=harness.config.seed
-                    + _SEED_STRIDE * (index_offset + index + 1),
-                ),
-                replace(
-                    platform.config,
-                    seed=platform.config.seed
-                    + _SEED_STRIDE * (index_offset + index + 1),
-                ),
-                platform.execution_model,
-                platform.cold_start_model,
-                platform.pricing_model,
-                memory_sizes_mb,
-                workload,
-            )
+            (function, index_offset + index, configs, memory_sizes_mb, workload)
             for index, function in enumerate(functions)
         ]
-        max_workers = self.n_workers or min(len(functions), os.cpu_count() or 1)
         results: list = [None] * len(functions)
         done = 0
 
         def finish_sequentially():
-            # Runs the same per-function-seeded tasks in-process, so results
-            # are identical whether a function was measured by a pool worker,
-            # a single-worker schedule, or this fallback.
+            # Runs the same per-group-seeded tasks in-process, so results are
+            # identical whether a function was measured by a pool worker, a
+            # single-worker schedule, or this fallback.
             nonlocal done
             for index, payload in enumerate(payloads):
                 if results[index] is not None:
@@ -146,6 +169,7 @@ class ParallelBackend(ExecutionBackend):
                 if progress_callback is not None:
                     progress_callback(done, len(functions), functions[index].name)
 
+        max_workers = self._max_workers(len(functions))
         if len(functions) == 1 or max_workers == 1:
             finish_sequentially()
             return results
@@ -177,3 +201,109 @@ class ParallelBackend(ExecutionBackend):
             )
             finish_sequentially()
         return results
+
+    def measure_stat_chunks(
+        self,
+        harness,
+        functions,
+        memory_sizes_mb=None,
+        workload=None,
+        chunk_size=None,
+        on_chunk=None,
+        progress_callback=None,
+        index_offset=0,
+    ):
+        """Fan fused group chunks out over worker processes.
+
+        Each worker executes one fused cross-function mega-batch per chunk
+        and returns only dense stat arrays; chunks are delivered to
+        ``on_chunk`` strictly in order (out-of-order completions are buffered
+        so a streaming sharded sink sees functions in sequence).  Submission
+        is windowed a few chunks ahead of the in-order flush pointer, so the
+        buffer — and with it the parent's peak memory — stays bounded by a
+        handful of chunks even when an early chunk lands on a slow worker.
+        Numbers are bit-identical to the in-process fused schedule because
+        every group's stream derives from its absolute index.
+        """
+        total = len(functions)
+        if total == 0:
+            return
+        step = int(chunk_size) if chunk_size else total
+        step = max(1, min(step, total))
+        configs = _worker_configs(harness)
+        starts = list(range(0, total, step))
+        payloads = {
+            start: (
+                functions[start : start + step],
+                index_offset + start,
+                configs,
+                memory_sizes_mb,
+                workload,
+            )
+            for start in starts
+        }
+
+        def flush(start, result):
+            chunk = functions[start : start + step]
+            stats, counts, costs = result
+            for function, cost in zip(chunk, costs):
+                harness.platform._note_cost(function.name, cost)
+            if on_chunk is not None:
+                on_chunk(start, chunk, stats, counts)
+            if progress_callback is not None:
+                for k, function in enumerate(chunk):
+                    progress_callback(start + k + 1, total, function.name)
+
+        remaining = set(starts)
+        buffered: dict[int, tuple] = {}
+        max_workers = self._max_workers(len(starts))
+        if len(starts) > 1 and max_workers > 1:
+            pointer = 0
+            submit_window = max_workers + 2
+            try:
+                with ProcessPoolExecutor(max_workers=max_workers) as executor:
+                    futures: dict = {}
+                    next_submit = 0
+
+                    def submit_up_to_window():
+                        nonlocal next_submit
+                        while (
+                            next_submit < len(starts)
+                            and len(futures) + len(buffered) < submit_window
+                        ):
+                            start = starts[next_submit]
+                            futures[
+                                executor.submit(_measure_chunk_stats_task, payloads[start])
+                            ] = start
+                            next_submit += 1
+
+                    submit_up_to_window()
+                    while futures:
+                        done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            buffered[futures.pop(future)] = future.result()
+                        while pointer < len(starts) and starts[pointer] in buffered:
+                            start = starts[pointer]
+                            flush(start, buffered.pop(start))
+                            remaining.discard(start)
+                            pointer += 1
+                        submit_up_to_window()
+            except BrokenProcessPool:
+                warnings.warn(
+                    "parallel backend: worker pool broke, finishing "
+                    f"{len(remaining)} of {len(starts)} chunks in-process "
+                    "(results are unaffected, throughput is)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        # In-order tail: chunks the pool finished out of order are delivered
+        # from the buffer; chunks it never finished run in-process.  Numbers
+        # are identical either way (per-group streams by absolute index).
+        for start in starts:
+            if start not in remaining:
+                continue
+            result = buffered.pop(start, None)
+            if result is None:
+                result = _measure_chunk_stats_task(payloads[start])
+            flush(start, result)
+            remaining.discard(start)

@@ -2,8 +2,7 @@
 
 Kept as the reference implementation: it drives
 :meth:`~repro.simulation.platform.ServerlessPlatform.invoke` once per arrival,
-so per-invocation records land in the platform log exactly as before and the
-random draw order matches the seed repository invocation for invocation.  The
+so per-invocation records land in the platform log exactly as before.  The
 parity tests compare the vectorized and parallel backends against it.
 """
 
@@ -20,7 +19,26 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def run_batch(self, platform, function_name: str, arrivals: np.ndarray) -> BatchResult:
+    def run_batch(
+        self,
+        platform,
+        function_name: str,
+        arrivals: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> BatchResult:
         function = platform.get_function(function_name)
-        records = [platform.invoke(function_name, at_time_s=float(t)) for t in arrivals]
+        if rng is None:
+            records = [platform.invoke(function_name, at_time_s=float(t)) for t in arrivals]
+        else:
+            # Group-private stream: the scalar path draws through the
+            # platform's generator, so swap it in for the duration of the
+            # batch (the simulation is single-threaded).
+            shared = platform._rng
+            platform._rng = rng
+            try:
+                records = [
+                    platform.invoke(function_name, at_time_s=float(t)) for t in arrivals
+                ]
+            finally:
+                platform._rng = shared
         return BatchResult.from_records(function_name, function.memory_mb, records)

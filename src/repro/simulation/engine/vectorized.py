@@ -13,6 +13,12 @@ distributions are sampled the same number of times, so aggregates over a
 measurement window agree within sampling error; with every noise source
 disabled the two backends agree invocation for invocation (see
 ``tests/test_engine_backends.py``).
+
+Beyond single batches, this backend owns the *fused* cross-function path:
+:meth:`VectorizedBackend.run_grouped` executes many (function, size) groups
+as one columnar mega-batch (:mod:`repro.simulation.engine.grouped`),
+bit-identical to the looped per-group schedule because every group draws its
+noise from its own request stream.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.simulation.engine.base import BatchResult, ExecutionBackend, register_backend
+from repro.simulation.engine.grouped import run_grouped, walk_instances
 
 
 @register_backend
@@ -28,12 +35,33 @@ class VectorizedBackend(ExecutionBackend):
 
     name = "vectorized"
 
-    def run_batch(self, platform, function_name: str, arrivals: np.ndarray) -> BatchResult:
+    def run_batch(
+        self,
+        platform,
+        function_name: str,
+        arrivals: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> BatchResult:
+        """Execute one sorted arrival batch of a deployed function.
+
+        Parameters
+        ----------
+        platform:
+            The platform the function is deployed on.
+        function_name:
+            Name of the deployed function.
+        arrivals:
+            Sorted arrival timestamps (seconds).
+        rng:
+            Optional group-private noise stream
+            (:mod:`repro.simulation.seeding`); defaults to the platform's
+            shared generator.
+        """
         function = platform.get_function(function_name)
         profile = function.profile
         memory_mb = function.memory_mb
         model = platform.execution_model
-        rng = platform.rng
+        rng = rng if rng is not None else platform.rng
         n = int(arrivals.shape[0])
 
         execution = model.execute_batch(profile, memory_mb, rng, arrivals)
@@ -47,7 +75,7 @@ class VectorizedBackend(ExecutionBackend):
         )
         cold_noise = cold_model.noise_factors(rng, n) if cold_model.noise_cv > 0 else None
 
-        cold_start, init_ms, instance_ids = self._assign_instances(
+        cold_start, init_ms, instance_ids = walk_instances(
             platform, function_name, memory_mb, arrivals, exec_ms, init_base_ms, cold_noise
         )
         function.invocation_count += n
@@ -69,42 +97,12 @@ class VectorizedBackend(ExecutionBackend):
         platform._note_cost(function_name, batch.total_cost_usd)
         return batch
 
-    @staticmethod
-    def _assign_instances(
-        platform,
-        function_name: str,
-        memory_mb: float,
-        arrivals: np.ndarray,
-        exec_ms: np.ndarray,
-        init_base_ms: float,
-        cold_noise: np.ndarray | None,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Walk the sorted arrivals through the platform's instance pool.
+    def run_grouped(self, platform, requests):
+        """Execute many groups as one fused columnar mega-batch.
 
-        Reuses the platform's own acquisition logic (keep-alive reclaim, warm
-        reuse, concurrency limit) so warm/cold decisions are identical to the
-        scalar path; only the noise pairing differs when cold-start noise is
-        enabled.  Mutates the pool, so consecutive batches see warm workers.
+        Delegates to :func:`repro.simulation.engine.grouped.run_grouped`:
+        noise is drawn per group from each request's stream (same order as
+        :meth:`run_batch` would), everything else runs once over the
+        concatenated columns.  Bit-identical to the looped default.
         """
-        n = int(arrivals.shape[0])
-        cold_start = np.zeros(n, dtype=bool)
-        init_ms = np.zeros(n)
-        instance_ids = np.empty(n, dtype=np.int64)
-
-        acquire = platform._acquire_instance
-        arrival_list = arrivals.tolist()
-        exec_list = exec_ms.tolist()
-        noise_list = cold_noise.tolist() if cold_noise is not None else None
-        for i, at_time_s in enumerate(arrival_list):
-            instance, is_cold = acquire(function_name, memory_mb, at_time_s)
-            init = 0.0
-            if is_cold:
-                init = init_base_ms * noise_list[i] if noise_list is not None else init_base_ms
-                cold_start[i] = True
-                init_ms[i] = init
-            start_s = max(at_time_s, instance.busy_until_s)
-            instance.busy_until_s = start_s + (exec_list[i] + init) / 1000.0
-            instance.last_used_s = instance.busy_until_s
-            instance.invocations += 1
-            instance_ids[i] = instance.instance_id
-        return cold_start, init_ms, instance_ids
+        return run_grouped(platform, requests)

@@ -282,7 +282,7 @@ class ServerlessPlatform:
         """Invoke a function once per timestamp (timestamps need not be sorted)."""
         return [self.invoke(name, at_time_s=t) for t in sorted(timestamps_s)]
 
-    def invoke_batch(self, name: str, timestamps_s, backend=None):
+    def invoke_batch(self, name: str, timestamps_s, backend=None, rng=None):
         """Invoke a function once per timestamp through an execution backend.
 
         Parameters
@@ -295,6 +295,10 @@ class ServerlessPlatform:
             Backend name (``"serial"``, ``"vectorized"``, ``"parallel"``) or an
             :class:`~repro.simulation.engine.ExecutionBackend` instance;
             defaults to the serial (scalar) path.
+        rng:
+            Optional batch-private noise stream (the per-group streams
+            spawned by :mod:`repro.simulation.seeding`); ``None`` keeps the
+            platform's shared generator.
 
         Returns a :class:`~repro.simulation.engine.BatchResult` with one column
         per invocation attribute.  The serial backend also appends every
@@ -308,7 +312,19 @@ class ServerlessPlatform:
         arrivals = np.sort(np.asarray(timestamps_s, dtype=float))
         if np.any(arrivals < 0):
             raise SimulationError("at_time_s must be non-negative")
-        return resolved.run_batch(self, name, arrivals)
+        return resolved.run_batch(self, name, arrivals, rng=rng)
+
+    def invoke_grouped(self, requests):
+        """Execute many (function, size) groups as one fused columnar pass.
+
+        Thin convenience wrapper around the fused executor
+        (:func:`repro.simulation.engine.grouped.run_grouped`); see there for
+        semantics.  Returns a
+        :class:`~repro.simulation.engine.grouped.GroupedBatch`.
+        """
+        from repro.simulation.engine.grouped import run_grouped
+
+        return run_grouped(self, requests)
 
     # ---------------------------------------------------------------- billing
     def _note_cost(self, name: str, cost_usd: float) -> None:
@@ -342,6 +358,20 @@ class ServerlessPlatform:
         self._records_by_function.clear()
         self._cost_by_function.clear()
         self._cost_total = 0.0
+
+    def discard_all_records(self) -> int:
+        """Drop every retained invocation record, keeping all billing totals.
+
+        The bulk counterpart of :meth:`discard_function_records`, used by
+        window-oriented callers (the fleet simulator's fused path) after
+        aggregating a whole window: clearing once is O(records) instead of
+        one log rebuild per function.  Returns the number of records
+        discarded.
+        """
+        dropped = len(self.invocation_log)
+        self.invocation_log.clear()
+        self._records_by_function.clear()
+        return dropped
 
     def discard_function_records(self, name: str) -> int:
         """Drop one function's retained records, keeping its billing totals.

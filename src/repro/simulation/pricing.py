@@ -123,9 +123,14 @@ class PricingModel:
         granularity = self.scheme.billing_granularity_ms
         return np.ceil(duration / granularity) * granularity
 
-    def execution_cost_batch(self, execution_times_ms, memory_mb: float):
-        """Vectorized :meth:`execution_cost` for an array of durations."""
-        if memory_mb <= 0:
+    def execution_cost_batch(self, execution_times_ms, memory_mb):
+        """Vectorized :meth:`execution_cost` for an array of durations.
+
+        ``memory_mb`` may be a scalar (one function at one size) or a
+        per-invocation array (the fused cross-function path); the cost
+        arithmetic broadcasts elementwise either way.
+        """
+        if np.any(np.asarray(memory_mb, dtype=float) <= 0):
             raise ConfigurationError("memory_mb must be positive")
         billed_ms = self.billed_duration_batch_ms(execution_times_ms)
         gb_seconds = (memory_mb / 1024.0) * (billed_ms / 1000.0)

@@ -81,6 +81,73 @@ class TimingBreakdown:
         return self.cpu_ms + self.fs_ms + self.network_ms + self.service_ms + self.overhead_ms
 
 
+@dataclass(frozen=True)
+class RuntimeBatchInputs:
+    """Profile/platform inputs of the Table-1 metric formulas.
+
+    Every field may be a scalar (one function at one memory size — the
+    per-batch path of :meth:`NodeRuntimeModel.metrics_batch`) or a
+    per-invocation array (many groups flattened into one columnar mega-batch
+    — the fused path of :mod:`repro.simulation.engine.grouped`).  The metric
+    formulas are pure elementwise arithmetic, so both parameterizations run
+    through one implementation and produce bit-identical values.
+    """
+
+    memory_mb: float | np.ndarray
+    cpu_share: float | np.ndarray
+    pressure_factor: float | np.ndarray
+    cpu_user_ms: float | np.ndarray
+    cpu_system_ms: float | np.ndarray
+    fs_read_ops: float | np.ndarray
+    fs_write_ops: float | np.ndarray
+    fs_read_bytes: float | np.ndarray
+    fs_write_bytes: float | np.ndarray
+    total_service_calls: float | np.ndarray
+    has_network: float | np.ndarray
+    network_bytes_in: float | np.ndarray
+    network_bytes_out: float | np.ndarray
+    heap_allocated_mb: float | np.ndarray
+    memory_working_set_mb: float | np.ndarray
+    code_size_kb: float | np.ndarray
+    blocking_fraction: float | np.ndarray
+    service_bytes_in: float | np.ndarray
+    service_bytes_out: float | np.ndarray
+
+    @staticmethod
+    def from_profile(
+        profile: ResourceProfile,
+        memory_mb: float,
+        cpu_share: float,
+        pressure_factor: float,
+        service_bytes_in: float,
+        service_bytes_out: float,
+    ) -> "RuntimeBatchInputs":
+        """Build the scalar inputs of one (function, memory size) batch."""
+        return RuntimeBatchInputs(
+            memory_mb=float(memory_mb),
+            cpu_share=float(cpu_share),
+            pressure_factor=float(pressure_factor),
+            cpu_user_ms=profile.cpu_user_ms,
+            cpu_system_ms=profile.cpu_system_ms,
+            fs_read_ops=profile.fs_read_ops,
+            fs_write_ops=profile.fs_write_ops,
+            fs_read_bytes=profile.fs_read_bytes,
+            fs_write_bytes=profile.fs_write_bytes,
+            total_service_calls=profile.total_service_calls,
+            has_network=(
+                1.0 if profile.network_bytes_in + profile.network_bytes_out > 0 else 0.0
+            ),
+            network_bytes_in=profile.network_bytes_in,
+            network_bytes_out=profile.network_bytes_out,
+            heap_allocated_mb=profile.heap_allocated_mb,
+            memory_working_set_mb=profile.memory_working_set_mb,
+            code_size_kb=profile.code_size_kb,
+            blocking_fraction=profile.blocking_fraction,
+            service_bytes_in=float(service_bytes_in),
+            service_bytes_out=float(service_bytes_out),
+        )
+
+
 class NodeRuntimeModel:
     """Derives the Table-1 metric values for one simulated invocation."""
 
@@ -224,6 +291,22 @@ class NodeRuntimeModel:
             raise SimulationError(f"runtime model missed metrics: {sorted(missing)}")
         return metrics
 
+    @staticmethod
+    def draw_jitters(
+        rng: np.random.Generator, n: int, counter_noise: float
+    ) -> np.ndarray:
+        """Draw the ``(13, n)`` counter-jitter factors of one metric batch.
+
+        One row per jittered metric formula, clipped at 0.5 exactly like the
+        scalar path's per-invocation draws.  With ``counter_noise <= 0`` the
+        generator is not consumed and unit factors are returned.  Exposed so
+        the fused grouped executor can pre-draw each group's jitters from its
+        own stream in the same order the per-batch path would.
+        """
+        if counter_noise > 0:
+            return np.maximum(rng.normal(1.0, counter_noise, size=(13, n)), 0.5)
+        return np.ones((13, n))
+
     def metrics_batch(
         self,
         profile: ResourceProfile,
@@ -255,59 +338,108 @@ class NodeRuntimeModel:
         if cpu_share <= 0:
             raise SimulationError("cpu_share must be positive")
         n = int(np.asarray(total_ms).shape[0])
+        inputs = RuntimeBatchInputs.from_profile(
+            profile, memory_mb, cpu_share, pressure_factor,
+            service_bytes_in, service_bytes_out,
+        )
+        return self.metrics_batch_inputs(
+            inputs,
+            cpu_ms=cpu_ms,
+            fs_ms=fs_ms,
+            network_ms=network_ms,
+            service_ms=service_ms,
+            total_ms=total_ms,
+            jitters=self.draw_jitters(rng, n, counter_noise),
+        )
 
-        if counter_noise > 0:
-            jitters = np.maximum(rng.normal(1.0, counter_noise, size=(13, n)), 0.5)
-        else:
-            jitters = np.ones((13, n))
+    def metrics_batch_inputs(
+        self,
+        inputs: RuntimeBatchInputs,
+        cpu_ms: np.ndarray,
+        fs_ms: np.ndarray,
+        network_ms: np.ndarray,
+        service_ms: np.ndarray,
+        total_ms: np.ndarray,
+        jitters: np.ndarray,
+    ) -> dict[str, np.ndarray]:
+        """Metric formulas over explicit scalar-or-array inputs.
 
-        user_cpu = profile.cpu_user_ms * pressure_factor * jitters[0]
+        The single implementation behind :meth:`metrics_batch` (scalar inputs
+        of one function at one size) and the fused cross-function path
+        (per-invocation input arrays gathered over a group-id column): all
+        formulas are elementwise, so the two parameterizations are
+        bit-identical where their expanded input values agree.
+
+        Parameters
+        ----------
+        inputs:
+            Profile/platform formula inputs (scalars or per-invocation
+            arrays), see :class:`RuntimeBatchInputs`.
+        cpu_ms / fs_ms / network_ms / service_ms / total_ms:
+            Per-invocation wall-clock components with all multiplicative
+            noise applied.
+        jitters:
+            Pre-drawn ``(13, n)`` counter-jitter factors
+            (:meth:`draw_jitters`).
+        """
+        if np.any(np.asarray(inputs.memory_mb) <= 0):
+            raise SimulationError("memory_mb must be positive")
+        if np.any(np.asarray(inputs.cpu_share) <= 0):
+            raise SimulationError("cpu_share must be positive")
+        n = int(np.asarray(total_ms).shape[0])
+        memory_mb = inputs.memory_mb
+
+        user_cpu = inputs.cpu_user_ms * inputs.pressure_factor * jitters[0]
         system_cpu = (
-            profile.cpu_system_ms
+            inputs.cpu_system_ms
             + 0.08 * fs_ms
             + 0.05 * network_ms
             + 0.02 * service_ms
         ) * jitters[1]
 
         io_waits = (
-            profile.fs_read_ops
-            + profile.fs_write_ops
-            + profile.total_service_calls
-            + (1.0 if profile.network_bytes_in + profile.network_bytes_out > 0 else 0.0)
+            inputs.fs_read_ops
+            + inputs.fs_write_ops
+            + inputs.total_service_calls
+            + inputs.has_network
         )
         vol_switches = (8.0 + 2.5 * io_waits) * jitters[2]
-        throttle_rate = max(1.0 / cpu_share - 1.0, 0.0)
+        throttle_rate = np.maximum(1.0 / inputs.cpu_share - 1.0, 0.0)
         invol_switches = (
             2.0 + 0.6 * user_cpu * throttle_rate / 10.0 + 0.02 * user_cpu
         ) * jitters[3]
 
-        fs_reads = (profile.fs_read_ops + profile.fs_read_bytes / 4096.0) * jitters[4]
-        fs_writes = (profile.fs_write_ops + profile.fs_write_bytes / 4096.0) * jitters[5]
+        fs_reads = (inputs.fs_read_ops + inputs.fs_read_bytes / 4096.0) * jitters[4]
+        fs_writes = (inputs.fs_write_ops + inputs.fs_write_bytes / 4096.0) * jitters[5]
 
         heap_limit = self.heap_fraction_of_memory * memory_mb
-        heap_used = min(profile.heap_allocated_mb, heap_limit) * jitters[6]
+        heap_used = np.minimum(inputs.heap_allocated_mb, heap_limit) * jitters[6]
         total_heap = np.minimum(heap_used * 1.35 + 6.0, heap_limit)
         physical_heap = total_heap * 0.95
         available_heap = np.maximum(heap_limit - total_heap, 0.0)
-        resident_set = min(
-            _RUNTIME_BASELINE_MB + profile.memory_working_set_mb, memory_mb
+        resident_set = np.minimum(
+            _RUNTIME_BASELINE_MB + inputs.memory_working_set_mb, memory_mb
         ) * jitters[7]
         max_resident_set = np.minimum(resident_set * 1.08, memory_mb)
-        allocated_memory = (profile.memory_working_set_mb * 1.05 + 4.0) * jitters[8]
+        allocated_memory = (inputs.memory_working_set_mb * 1.05 + 4.0) * jitters[8]
         external_memory = (
-            1.5 + 0.4 * (profile.fs_read_bytes + profile.network_bytes_in) / 1e6
+            1.5 + 0.4 * (inputs.fs_read_bytes + inputs.network_bytes_in) / 1e6
         ) * jitters[9]
-        bytecode_metadata = (0.4 + profile.code_size_kb / 1024.0 * 0.8) * jitters[10]
+        bytecode_metadata = (0.4 + inputs.code_size_kb / 1024.0 * 0.8) * jitters[10]
 
-        bytes_received = (profile.network_bytes_in + service_bytes_in) * jitters[11]
-        bytes_transmitted = (profile.network_bytes_out + service_bytes_out) * jitters[12]
-        packages_received = np.ceil(bytes_received / _PACKET_BYTES) + profile.total_service_calls
+        bytes_received = (inputs.network_bytes_in + inputs.service_bytes_in) * jitters[11]
+        bytes_transmitted = (
+            inputs.network_bytes_out + inputs.service_bytes_out
+        ) * jitters[12]
+        packages_received = (
+            np.ceil(bytes_received / _PACKET_BYTES) + inputs.total_service_calls
+        )
         packages_transmitted = (
-            np.ceil(bytes_transmitted / _PACKET_BYTES) + profile.total_service_calls
+            np.ceil(bytes_transmitted / _PACKET_BYTES) + inputs.total_service_calls
         )
 
-        async_boundaries = max(io_waits, 1.0)
-        blocking_wall_ms = cpu_ms * profile.blocking_fraction
+        async_boundaries = np.maximum(io_waits, 1.0)
+        blocking_wall_ms = cpu_ms * inputs.blocking_fraction
         mean_lag = blocking_wall_ms / (async_boundaries + 1.0) + 0.05
         max_lag = mean_lag * 3.0 + 0.1
         min_lag = np.full(n, 0.02)
@@ -327,7 +459,7 @@ class NodeRuntimeModel:
             "heap_used": heap_used,
             "physical_heap": physical_heap,
             "available_heap": available_heap,
-            "heap_limit": np.full(n, heap_limit),
+            "heap_limit": heap_limit * np.ones(n),
             "allocated_memory": allocated_memory,
             "external_memory": external_memory,
             "bytecode_metadata": bytecode_metadata,

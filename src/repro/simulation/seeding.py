@@ -1,0 +1,107 @@
+"""Deterministic per-group random stream derivation (one ``SeedSequence`` route).
+
+Every hot path that simulates many (function, size) or (function, window)
+groups — the measurement harness, the parallel worker processes, the fleet
+simulator and the fused grouped executor — needs its *own* random stream per
+group, for two reasons:
+
+1. **Structural parity.**  The fused cross-function executor
+   (:mod:`repro.simulation.engine.grouped`) computes many groups in one
+   columnar pass, while the looped path executes one batch per group.  Both
+   produce bit-identical numbers only when every group draws its noise from
+   an independent stream that does not depend on scheduling order.
+2. **Reproducible parallelism.**  Worker processes measuring function ``i``
+   must draw the same noise the sequential schedule would, regardless of
+   worker count or completion order.
+
+Before this module existed, those seeds were derived ad hoc (a prime stride
+in the parallel backend, a shared sequential stream in the harness and the
+load generator), so parity was coincidental.  All per-group streams are now
+spawned here, from one scheme: ``SeedSequence(base_seed,
+spawn_key=(stream_role, *group_key))``.  Distinct roles keep e.g. the
+arrival stream of group ``(3, 1)`` independent from its execution-noise
+stream even when the underlying base seeds collide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Stream role of open-loop / traffic arrival sampling.
+STREAM_ARRIVALS = 1
+
+#: Stream role of platform execution noise (timing, counters, cold starts).
+STREAM_EXECUTION = 2
+
+#: Stream role of fleet traffic-model sampling (per function, per window).
+STREAM_TRAFFIC = 3
+
+
+def child_seed_sequence(
+    base_seed: int, stream: int, *group_key: int
+) -> np.random.SeedSequence:
+    """Spawn the seed sequence of one group-scoped random stream.
+
+    Parameters
+    ----------
+    base_seed:
+        The configuring object's seed (harness, platform or fleet config).
+    stream:
+        Stream role constant (:data:`STREAM_ARRIVALS`,
+        :data:`STREAM_EXECUTION` or :data:`STREAM_TRAFFIC`) separating
+        independent uses of the same base seed.
+    *group_key:
+        Integer coordinates identifying the group — e.g. ``(function_index,
+        size_index)`` for a harness measurement or ``(function_index,
+        window_index)`` for a fleet window.
+
+    Returns
+    -------
+    numpy.random.SeedSequence
+        A child sequence unique to ``(base_seed, stream, *group_key)``.
+    """
+    return np.random.SeedSequence(
+        int(base_seed), spawn_key=(int(stream), *(int(k) for k in group_key))
+    )
+
+
+def child_rng(base_seed: int, stream: int, *group_key: int) -> np.random.Generator:
+    """Create the generator of one group-scoped random stream.
+
+    Convenience wrapper around :func:`child_seed_sequence`; see there for the
+    parameters.  Two calls with equal arguments return generators with
+    identical initial state, so callers never need to share generator objects
+    across groups (which would reintroduce order dependence).
+    """
+    return np.random.default_rng(child_seed_sequence(base_seed, stream, *group_key))
+
+
+def spawn_child_rngs(
+    base_seed: int, stream: int, *prefix: int, n: int
+) -> list[np.random.Generator]:
+    """Spawn ``n`` consecutive group streams sharing a key prefix, in bulk.
+
+    ``spawn_child_rngs(seed, stream, *prefix, n=n)[i]`` has exactly the same
+    state as ``child_rng(seed, stream, *prefix, i)`` — ``SeedSequence.spawn``
+    numbers its children by appending the child index to the spawn key — but
+    amortizes the entropy-pool setup, which matters on hot paths that need
+    hundreds of streams per call (one fleet window spawns two streams per
+    function).
+
+    Parameters
+    ----------
+    base_seed:
+        The configuring object's seed.
+    stream:
+        Stream role constant (see :func:`child_seed_sequence`).
+    *prefix:
+        Leading group-key coordinates shared by all ``n`` streams (e.g. the
+        window index); the child index ``0..n-1`` is appended as the last
+        coordinate.
+    n:
+        Number of streams to spawn.
+    """
+    parent = np.random.SeedSequence(
+        int(base_seed), spawn_key=(int(stream), *(int(k) for k in prefix))
+    )
+    return [np.random.default_rng(child) for child in parent.spawn(int(n))]

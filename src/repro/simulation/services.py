@@ -96,6 +96,9 @@ class ServiceCatalog:
 
     def __init__(self, models: dict[str, ServiceModel] | None = None) -> None:
         self._models = dict(_default_services() if models is None else models)
+        # Batch-draw rows per distinct service-call tuple (see
+        # sample_latency_batch_ms); invalidated when models change.
+        self._batch_rows: dict[tuple[ServiceCall, ...], tuple] = {}
 
     @property
     def service_names(self) -> list[str]:
@@ -109,6 +112,7 @@ class ServiceCatalog:
                 f"service {model.name!r} already registered (pass overwrite=True)"
             )
         self._models[model.name] = model
+        self._batch_rows.clear()
 
     def get(self, name: str) -> ServiceModel:
         """Return the model for ``name`` or raise :class:`SimulationError`."""
@@ -140,27 +144,37 @@ class ServiceCatalog:
         per-invocation sum over all of them.  Draws happen invocation-major
         (all calls of invocation 0, then invocation 1, ...), the same order the
         scalar path uses, so a noise-free-otherwise simulation produces
-        identical per-invocation latencies with either path.
+        identical per-invocation latencies with either path.  The per-call
+        mean/sigma rows are cached per distinct call tuple — the fused
+        cross-function path samples hundreds of small batches per window.
         """
-        total = np.zeros(n)
-        means: list[float] = []
-        sigmas: list[float] = []
-        for call in calls:
-            model = self.get(call.service)
-            mean = model.mean_latency_ms(call)
-            if model.latency_cv <= 0 or mean <= 0:
-                # The scalar sampler returns the mean without consuming a draw.
-                total += mean * call.calls
-                continue
-            sigma = float(np.sqrt(np.log(1.0 + model.latency_cv**2)))
-            means.extend([mean] * call.calls)
-            sigmas.extend([sigma] * call.calls)
-        if means:
-            mean_row = np.asarray(means)
-            sigma_row = np.asarray(sigmas)
+        rows = self._batch_rows.get(calls)
+        if rows is None:
+            fixed = 0.0
+            means: list[float] = []
+            sigmas: list[float] = []
+            for call in calls:
+                model = self.get(call.service)
+                mean = model.mean_latency_ms(call)
+                if model.latency_cv <= 0 or mean <= 0:
+                    # The scalar sampler returns the mean without a draw.
+                    fixed += mean * call.calls
+                    continue
+                sigma = float(np.sqrt(np.log(1.0 + model.latency_cv**2)))
+                means.extend([mean] * call.calls)
+                sigmas.extend([sigma] * call.calls)
+            rows = (
+                fixed,
+                np.asarray(means) if means else None,
+                np.asarray(sigmas) if means else None,
+            )
+            self._batch_rows[calls] = rows
+        fixed, mean_row, sigma_row = rows
+        total = np.full(n, fixed) if fixed else np.zeros(n)
+        if mean_row is not None:
             # lognormal(mu, sigma) == exp(mu + sigma * z): drawing the standard
             # normals row-major reproduces the scalar per-call draw sequence.
-            z = rng.standard_normal((n, len(means)))
+            z = rng.standard_normal((n, mean_row.shape[0]))
             factors = np.exp(-0.5 * sigma_row * sigma_row + sigma_row * z)
             total += (mean_row * factors).sum(axis=1)
         return total

@@ -82,7 +82,12 @@ class LoadGenerator:
     def __init__(self, seed: int = 0) -> None:
         self._rng = np.random.default_rng(seed)
 
-    def arrival_times(self, workload: Workload, max_requests: int | None = None) -> list[float]:
+    def arrival_times(
+        self,
+        workload: Workload,
+        max_requests: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> list[float]:
         """Generate sorted arrival timestamps (seconds) for ``workload``.
 
         Parameters
@@ -93,9 +98,15 @@ class LoadGenerator:
             Optional hard cap on the number of generated requests, used by
             laptop-scale harnesses to bound experiment cost while keeping the
             arrival process shape.
+        rng:
+            Optional experiment-private random stream (the per-group streams
+            spawned by :mod:`repro.simulation.seeding`); ``None`` draws from
+            the generator's own shared stream.
         """
         if max_requests is not None and max_requests < 1:
             raise ConfigurationError("max_requests must be at least 1 when given")
+        if rng is None:
+            rng = self._rng
         if workload.arrival_process == "uniform":
             interval = 1.0 / workload.requests_per_second
             count = int(np.ceil(workload.duration_s / interval)) - 1
@@ -109,7 +120,7 @@ class LoadGenerator:
             # of accumulating exponential inter-arrival gaps until D.
             duration = workload.duration_s
             expected = workload.requests_per_second * duration
-            n_total = int(self._rng.poisson(expected))
+            n_total = int(rng.poisson(expected))
             if max_requests is not None and n_total > max_requests:
                 # Subsampled experiments (the laptop-scale cap) only need the
                 # arrivals at every ~(n_total / max_requests)-th position, so
@@ -118,11 +129,11 @@ class LoadGenerator:
                 # count, arrival times are uniform order statistics, and
                 # U_(s) | U_(r) = u is u + (D - u) * Beta(s - r, n - s + 1).
                 ranks = np.linspace(0, n_total - 1, max_requests).astype(int) + 1
-                fractions = self._rng.beta(np.diff(ranks, prepend=0), n_total - ranks + 1)
+                fractions = rng.beta(np.diff(ranks, prepend=0), n_total - ranks + 1)
                 # The recursion t_j = t_{j-1} + (D - t_{j-1}) * f_j telescopes
                 # to t_j = D * (1 - prod_{i<=j} (1 - f_i)).
                 return (duration * (1.0 - np.cumprod(1.0 - fractions))).tolist()
-            times = np.sort(self._rng.uniform(0.0, duration, n_total)).tolist()
+            times = np.sort(rng.uniform(0.0, duration, n_total)).tolist()
         if max_requests is not None and len(times) > max_requests:
             # Keep the arrival *pattern* but subsample uniformly across the
             # experiment so warm-up and drift are still represented.

@@ -375,9 +375,9 @@ class TestBatchBookkeeping:
             name = "counting"
             calls = 0
 
-            def run_batch(self, platform, function_name, arrivals):
+            def run_batch(self, platform, function_name, arrivals, rng=None):
                 CountingBackend.calls += 1
-                return super().run_batch(platform, function_name, arrivals)
+                return super().run_batch(platform, function_name, arrivals, rng=rng)
 
         backend: ExecutionBackend = CountingBackend()
         platform = _platform()

@@ -1,0 +1,567 @@
+"""Parity and error-path tests for the fused cross-function execution path.
+
+The fused grouped executor (``repro.simulation.engine.grouped``) must be
+bit-identical to the looped per-group schedule: every (function, size) or
+(function, window) group owns its own spawned random streams, both paths draw
+each group's noise in the same order, and both reduce through the same
+segmented-summation primitive.  These tests enforce that for fleet windows
+(all traffic models), for ``measure_table`` across backends and sinks, and
+for stressed instance-pool dynamics (overlaps, keep-alive expiry); plus the
+malformed-offset / malformed-request error paths and the seeding helper's
+determinism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MonitoringError, SimulationError
+from repro.dataset.generation import DatasetGenerationConfig, TrainingDatasetGenerator
+from repro.dataset.harness import HarnessConfig, MeasurementHarness
+from repro.fleet import FleetConfig, FleetSimulator
+from repro.monitoring.aggregation import (
+    STAT_NAMES,
+    grouped_stat_blocks,
+    stat_matrix,
+    validate_group_offsets,
+)
+from repro.monitoring.metrics import METRIC_NAMES
+from repro.simulation.coldstart import ColdStartModel
+from repro.simulation.engine import GroupedBatch, GroupRequest, get_backend, run_grouped
+from repro.simulation.platform import PlatformConfig, ServerlessPlatform
+from repro.simulation.seeding import (
+    STREAM_ARRIVALS,
+    STREAM_EXECUTION,
+    child_rng,
+    child_seed_sequence,
+    spawn_child_rngs,
+)
+from repro.workloads.generator import GeneratorConfig, SyntheticFunctionGenerator
+from repro.workloads.traffic import (
+    BurstyTraffic,
+    ConstantTraffic,
+    DiurnalTraffic,
+    RampTraffic,
+    TraceTraffic,
+)
+
+def _functions(n, seed=11, prefix="grp"):
+    return SyntheticFunctionGenerator(
+        config=GeneratorConfig(seed=seed, name_prefix=prefix)
+    ).generate(n)
+
+
+def assert_windows_equal(a, b):
+    """Bit-identical window comparison (cost compared to float tolerance)."""
+    np.testing.assert_array_equal(a.stats, b.stats)
+    np.testing.assert_array_equal(a.n_invocations, b.n_invocations)
+    np.testing.assert_array_equal(a.n_arrivals, b.n_arrivals)
+    np.testing.assert_array_equal(a.n_cold_starts, b.n_cold_starts)
+    np.testing.assert_array_equal(a.memory_mb, b.memory_mb)
+    np.testing.assert_allclose(a.cost_usd, b.cost_usd, rtol=1e-12)
+
+
+class TestSeeding:
+    def test_child_rng_deterministic(self):
+        a = child_rng(3, STREAM_EXECUTION, 5, 7).standard_normal(4)
+        b = child_rng(3, STREAM_EXECUTION, 5, 7).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_roles_and_keys_are_independent(self):
+        draws = {
+            (stream, key): child_rng(0, stream, *key).standard_normal(3).tobytes()
+            for stream in (STREAM_ARRIVALS, STREAM_EXECUTION)
+            for key in ((0, 0), (0, 1), (1, 0))
+        }
+        assert len(set(draws.values())) == len(draws)
+
+    def test_spawn_matches_individual_children(self):
+        spawned = spawn_child_rngs(9, STREAM_EXECUTION, 4, n=6)
+        for index, rng in enumerate(spawned):
+            expected = child_rng(9, STREAM_EXECUTION, 4, index).standard_normal(5)
+            np.testing.assert_array_equal(rng.standard_normal(5), expected)
+
+    def test_seed_sequence_key_structure(self):
+        sequence = child_seed_sequence(1, STREAM_ARRIVALS, 2, 3)
+        assert sequence.spawn_key == (STREAM_ARRIVALS, 2, 3)
+
+
+class TestGroupedStatBlocks:
+    def _metrics(self, rng, n):
+        return {m: rng.uniform(0.5, 10.0, n) for m in METRIC_NAMES}
+
+    def test_segments_match_per_group_stat_matrix(self):
+        rng = np.random.default_rng(0)
+        sizes = [7, 0, 40, 1, 13]
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        n = int(offsets[-1])
+        metrics = self._metrics(rng, n)
+        cold = rng.random(n) < 0.3
+        window = rng.random(n) < 0.8
+        blocks, counts = grouped_stat_blocks(
+            metrics, offsets, cold_start=cold, exclude_cold_starts=True, window=window
+        )
+        assert blocks.shape == (5, len(METRIC_NAMES), len(STAT_NAMES))
+        for g in range(5):
+            a, b = int(offsets[g]), int(offsets[g + 1])
+            if a == b:
+                assert counts[g] == 0
+                assert np.all(blocks[g] == 0.0)
+                continue
+            expected, expected_n = stat_matrix(
+                {m: v[a:b] for m, v in metrics.items()},
+                cold_start=cold[a:b],
+                exclude_cold_starts=True,
+                window=window[a:b],
+            )
+            np.testing.assert_array_equal(blocks[g], expected)
+            assert counts[g] == expected_n
+
+    def test_all_cold_group_falls_back_to_cold(self):
+        rng = np.random.default_rng(1)
+        metrics = self._metrics(rng, 6)
+        offsets = np.array([0, 3, 6])
+        cold = np.array([True, True, True, False, True, False])
+        blocks, counts = grouped_stat_blocks(metrics, offsets, cold_start=cold)
+        assert counts.tolist() == [3, 2]
+        assert np.all(blocks[0] != 0.0)
+
+    def test_empty_window_group_falls_back_to_full_group(self):
+        rng = np.random.default_rng(2)
+        metrics = self._metrics(rng, 5)
+        offsets = np.array([0, 2, 5])
+        window = np.array([False, False, True, True, False])
+        _, counts = grouped_stat_blocks(metrics, offsets, window=window)
+        assert counts.tolist() == [2, 2]
+
+    def test_malformed_offsets_rejected(self):
+        metrics = self._metrics(np.random.default_rng(3), 4)
+        for bad in (
+            np.array([0, 3]),            # does not end at n
+            np.array([1, 4]),            # does not start at 0
+            np.array([0, 3, 2, 4]),      # not monotone
+            np.array([0.0, 4.0]),        # not integer
+            np.array([4]),               # fewer than 2 boundaries
+            np.array([[0, 4]]),          # not 1-D
+        ):
+            with pytest.raises(MonitoringError):
+                grouped_stat_blocks(metrics, bad)
+
+    def test_missing_metric_rejected(self):
+        metrics = self._metrics(np.random.default_rng(4), 3)
+        del metrics["execution_time"]
+        with pytest.raises(MonitoringError):
+            grouped_stat_blocks(metrics, np.array([0, 3]))
+
+    def test_validate_group_offsets_returns_int64(self):
+        offsets = validate_group_offsets(np.array([0, 2, 5], dtype=np.int32), 5)
+        assert offsets.dtype == np.int64
+
+
+class TestGroupedBatchErrors:
+    def _batch_kwargs(self, n=4, groups=2):
+        offsets = np.linspace(0, n, groups + 1).astype(np.int64)
+        return dict(
+            function_names=tuple(f"f{g}" for g in range(groups)),
+            memory_mb=np.full(groups, 256.0),
+            offsets=offsets,
+            timestamps_s=np.arange(n, dtype=float),
+            execution_time_ms=np.ones(n),
+            init_duration_ms=np.zeros(n),
+            cold_start=np.zeros(n, dtype=bool),
+            instance_ids=np.ones(n, dtype=np.int64),
+            cost_usd=np.zeros(n),
+            billed_duration_ms=np.ones(n),
+            metrics={m: np.ones(n) for m in METRIC_NAMES},
+        )
+
+    def test_malformed_offsets_raise(self):
+        kwargs = self._batch_kwargs()
+        kwargs["offsets"] = np.array([0, 3, 2, 4])
+        with pytest.raises(SimulationError):
+            GroupedBatch(**kwargs)
+        kwargs["offsets"] = np.array([0, 2, 5])
+        with pytest.raises(SimulationError):
+            GroupedBatch(**kwargs)
+
+    def test_group_count_mismatch_raises(self):
+        kwargs = self._batch_kwargs()
+        kwargs["offsets"] = np.array([0, 1, 2, 4])
+        with pytest.raises(SimulationError):
+            GroupedBatch(**kwargs)
+        kwargs = self._batch_kwargs()
+        kwargs["memory_mb"] = np.array([256.0])
+        with pytest.raises(SimulationError):
+            GroupedBatch(**kwargs)
+
+    def test_group_index_out_of_range(self):
+        batch = GroupedBatch(**self._batch_kwargs())
+        with pytest.raises(SimulationError):
+            batch.group(2)
+        with pytest.raises(SimulationError):
+            batch.group(-1)
+
+    def test_run_grouped_rejects_empty_and_malformed(self, cpu_function):
+        platform = ServerlessPlatform.noise_free(seed=0)
+        with pytest.raises(SimulationError):
+            run_grouped(platform, [])
+        with pytest.raises(SimulationError):
+            GroupRequest.for_deployed(
+                platform, "missing", np.array([1.0]), np.random.default_rng(0)
+            )
+        platform.deploy(cpu_function.name, cpu_function.profile, 256)
+        for bad in ([3.0, 1.0], [-1.0, 2.0]):
+            request = GroupRequest.for_deployed(
+                platform, cpu_function.name, np.array(bad), np.random.default_rng(0)
+            )
+            with pytest.raises(SimulationError):
+                run_grouped(platform, [request])
+
+
+class TestFusedVersusLooped:
+    """Bit-identical fused-vs-looped execution on shared group streams."""
+
+    def _grouped_requests(self, platform, functions, rngs, arrivals):
+        return [
+            GroupRequest.for_deployed(platform, fn.name, arr, rng)
+            for fn, arr, rng in zip(functions, arrivals, rngs)
+        ]
+
+    def _compare(self, functions, arrival_sets, seed=0, keep_alive_s=600.0):
+        """Run the same groups fused and looped; assert bit-identity."""
+
+        def platform():
+            p = ServerlessPlatform(
+                config=PlatformConfig(allowed_memory_sizes_mb=None, seed=seed),
+                cold_start_model=ColdStartModel(keep_alive_s=keep_alive_s),
+            )
+            for fn in functions:
+                p.deploy(fn.name, fn.profile, 512)
+            return p
+
+        fused_platform, looped_platform = platform(), platform()
+        backend = get_backend("vectorized")
+        for round_index, arrivals in enumerate(arrival_sets):
+            rngs = spawn_child_rngs(seed, STREAM_EXECUTION, round_index, n=len(functions))
+            fused = backend.run_grouped(
+                fused_platform,
+                self._grouped_requests(fused_platform, functions, rngs, arrivals),
+            )
+            rngs = spawn_child_rngs(seed, STREAM_EXECUTION, round_index, n=len(functions))
+            for g, (fn, arr) in enumerate(zip(functions, arrivals)):
+                if arr.shape[0] == 0:
+                    assert int(fused.group_sizes()[g]) == 0
+                    continue
+                looped = looped_platform.invoke_batch(
+                    fn.name, arr, backend=backend, rng=rngs[g]
+                )
+                group = fused.group(g)
+                np.testing.assert_array_equal(
+                    group.execution_time_ms, looped.execution_time_ms
+                )
+                np.testing.assert_array_equal(group.cold_start, looped.cold_start)
+                np.testing.assert_array_equal(group.instance_ids, looped.instance_ids)
+                np.testing.assert_array_equal(
+                    group.init_duration_ms, looped.init_duration_ms
+                )
+                np.testing.assert_array_equal(
+                    group.billed_duration_ms, looped.billed_duration_ms
+                )
+                for metric in METRIC_NAMES:
+                    np.testing.assert_array_equal(
+                        group.metrics[metric], looped.metrics[metric], err_msg=metric
+                    )
+                fused_stats, fused_counts = fused.aggregate_stats()
+                stats, count = looped.aggregate_stats()
+                np.testing.assert_array_equal(fused_stats[g], stats)
+                assert int(fused_counts[g]) == count
+
+    def test_sparse_traffic_multiple_rounds(self):
+        functions = _functions(8, seed=3)
+        rng = np.random.default_rng(5)
+        arrival_sets = [
+            [
+                np.sort(rng.uniform(w * 3600.0, (w + 1) * 3600.0, rng.integers(0, 40)))
+                for _ in functions
+            ]
+            for w in range(3)
+        ]
+        self._compare(functions, arrival_sets)
+
+    def test_dense_overlapping_traffic(self):
+        """Tight gaps force the scalar/warm-run paths of the hybrid walk."""
+        functions = _functions(4, seed=4)
+        rng = np.random.default_rng(6)
+        arrival_sets = [
+            [np.sort(rng.uniform(0.0, 30.0, 120)) for _ in functions],
+            [np.sort(rng.uniform(30.0, 60.0, 120)) for _ in functions],
+        ]
+        self._compare(functions, arrival_sets, seed=1)
+
+    def test_short_keep_alive_forces_expiry_churn(self):
+        functions = _functions(4, seed=9)
+        rng = np.random.default_rng(10)
+        arrival_sets = [
+            [np.sort(rng.uniform(0.0, 2000.0, 60)) for _ in functions],
+            [np.sort(rng.uniform(2000.0, 4000.0, 60)) for _ in functions],
+        ]
+        self._compare(functions, arrival_sets, seed=2, keep_alive_s=12.0)
+
+    def test_serial_run_grouped_matches_fused_noise_free(self):
+        functions = _functions(3, seed=12)
+        arrivals = [
+            np.sort(np.random.default_rng(g).uniform(0.0, 600.0, 50))
+            for g in range(len(functions))
+        ]
+
+        def run(backend_name):
+            platform = ServerlessPlatform.noise_free(seed=0)
+            platform.cold_start_model = ColdStartModel(noise_cv=0.0)
+            for fn in functions:
+                platform.deploy(fn.name, fn.profile, 512)
+            rngs = spawn_child_rngs(0, STREAM_EXECUTION, 0, n=len(functions))
+            requests = [
+                GroupRequest.for_deployed(platform, fn.name, arr, rng)
+                for fn, arr, rng in zip(functions, arrivals, rngs)
+            ]
+            return get_backend(backend_name).run_grouped(platform, requests)
+
+        serial_stats, serial_counts = run("serial").aggregate_stats()
+        fused_stats, fused_counts = run("vectorized").aggregate_stats()
+        np.testing.assert_array_equal(serial_counts, fused_counts)
+        np.testing.assert_allclose(serial_stats, fused_stats, rtol=1e-9, atol=1e-12)
+
+    def test_looped_default_honours_multi_size_deployments(self):
+        """The looped run_grouped default must execute every group at the
+        deployment captured in its request, not the function's latest one —
+        a harness-style group list deploys one function at several sizes."""
+        function = _functions(1, seed=14)[0]
+        sizes = (128, 512, 3008)
+        arrivals = np.sort(np.random.default_rng(0).uniform(0.0, 600.0, 40))
+
+        def run(backend_name):
+            platform = ServerlessPlatform.noise_free(seed=0)
+            platform.cold_start_model = ColdStartModel(noise_cv=0.0)
+            rngs = spawn_child_rngs(0, STREAM_EXECUTION, 0, n=len(sizes))
+            requests = []
+            for j, size in enumerate(sizes):
+                platform.deploy(function.name, function.profile, size)
+                requests.append(
+                    GroupRequest.for_deployed(
+                        platform, function.name, arrivals, rngs[j], fresh_pool=True
+                    )
+                )
+            return get_backend(backend_name).run_grouped(platform, requests)
+
+        fused = run("vectorized")
+        looped = run("serial")
+        np.testing.assert_array_equal(fused.memory_mb, looped.memory_mb)
+        fused_stats, _ = fused.aggregate_stats()
+        looped_stats, _ = looped.aggregate_stats()
+        np.testing.assert_allclose(looped_stats, fused_stats, rtol=1e-9, atol=1e-12)
+        # Larger sizes must run strictly faster (a CPU-bearing profile): the
+        # looped default at the wrong (latest) deployment would flatten this.
+        exec_row = METRIC_NAMES.index("execution_time")
+        means = looped_stats[:, exec_row, 0]
+        assert means[0] > means[1] > means[2]
+
+
+class TestFleetWindowParity:
+    """Fused and looped fleet windows are bit-identical, per traffic model."""
+
+    TRAFFIC_FACTORIES = {
+        "constant": lambda i: ConstantTraffic(rate_rps=0.01 + 0.002 * i),
+        "diurnal": lambda i: DiurnalTraffic(
+            mean_rate_rps=0.01, amplitude=0.6, phase_s=1000.0 * i
+        ),
+        "bursty": lambda i: BurstyTraffic(
+            base_rate_rps=0.004, burst_rate_rps=0.3,
+            burst_every_s=1800.0, burst_duration_s=120.0, burst_seed=i,
+        ),
+        "ramp": lambda i: RampTraffic(
+            start_rate_rps=0.002, end_rate_rps=0.03,
+            ramp_start_s=0.0, ramp_duration_s=7200.0,
+        ),
+        "trace": lambda i: TraceTraffic(
+            timestamps_s=tuple(np.sort(np.random.default_rng(i).uniform(0, 7200, 50)))
+        ),
+    }
+
+    @pytest.mark.parametrize("model_name", sorted(TRAFFIC_FACTORIES))
+    def test_fused_equals_looped(self, model_name):
+        factory = self.TRAFFIC_FACTORIES[model_name]
+        functions = _functions(12, seed=31, prefix=f"fleet-{model_name}")
+        traffic = [factory(i) for i in range(len(functions))]
+
+        def run(fused):
+            simulator = FleetSimulator(
+                functions,
+                traffic,
+                FleetConfig(window_s=3600.0, seed=17, fused=fused),
+            )
+            windows = [simulator.run_window() for _ in range(2)]
+            simulator.resize(0, 1024)  # warm pools drop for fn 0 only
+            windows.append(simulator.run_window())
+            return windows
+
+        for fused_window, looped_window in zip(run(True), run(False)):
+            assert_windows_equal(fused_window, looped_window)
+
+    def test_fused_window_respects_arrival_cap(self, cpu_function):
+        simulator = FleetSimulator(
+            [cpu_function],
+            [ConstantTraffic(rate_rps=1.0)],
+            FleetConfig(window_s=600.0, max_arrivals_per_window=25, seed=5),
+        )
+        window = simulator.run_window()
+        assert window.n_arrivals[0] == 25
+
+    def test_fused_serial_windows_stream_records(self, cpu_function):
+        """The serial backend's scalar path logs every invocation; the fused
+        window must still discard them so memory stays bounded."""
+        simulator = FleetSimulator(
+            [cpu_function],
+            [ConstantTraffic(rate_rps=0.1)],
+            FleetConfig(window_s=600.0, backend="serial", seed=6),
+        )
+        for _ in range(2):
+            window = simulator.run_window()
+            assert window.n_invocations[0] > 0
+        assert simulator.platform.invocation_log == []
+        assert simulator.platform.total_cost_usd(cpu_function.name) > 0.0
+
+
+class TestMeasureTableParity:
+    """measure_table: fused == looped == parallel == sharded, bit-identical."""
+
+    SIZES = (128, 512, 2048)
+
+    def _table(self, functions, backend, fused, n_workers=None, **kwargs):
+        harness = MeasurementHarness(
+            config=HarnessConfig(
+                memory_sizes_mb=self.SIZES,
+                max_invocations_per_size=25,
+                seed=13,
+                backend=backend,
+                fused=fused,
+                n_workers=n_workers,
+            )
+        )
+        return harness.measure_table(functions, **kwargs)
+
+    def test_fused_equals_looped_vectorized(self):
+        functions = _functions(7, seed=41)
+        fused = self._table(functions, "vectorized", True)
+        looped = self._table(functions, "vectorized", False)
+        np.testing.assert_array_equal(fused.values, looped.values)
+        np.testing.assert_array_equal(fused.n_invocations, looped.n_invocations)
+        assert fused.function_names == looped.function_names
+
+    def test_parallel_chunks_equal_vectorized_fused(self):
+        functions = _functions(5, seed=42)
+        fused = self._table(functions, "vectorized", True)
+        parallel = self._table(functions, "parallel", True, n_workers=2)
+        np.testing.assert_array_equal(fused.values, parallel.values)
+        np.testing.assert_array_equal(fused.n_invocations, parallel.n_invocations)
+
+    def test_serial_looped_matches_fused_statistically(self):
+        functions = _functions(3, seed=43)
+        serial = self._table(functions, "serial", True)  # fused ignored
+        fused = self._table(functions, "vectorized", True)
+        exec_serial = serial.execution_time_ms()
+        exec_fused = fused.execution_time_ms()
+        np.testing.assert_allclose(exec_fused, exec_serial, rtol=0.15)
+
+    def test_object_path_matches_fused_table(self):
+        functions = _functions(4, seed=44)
+        harness = MeasurementHarness(
+            config=HarnessConfig(
+                memory_sizes_mb=self.SIZES,
+                max_invocations_per_size=25,
+                seed=13,
+                backend="vectorized",
+            )
+        )
+        from repro.dataset.table import MeasurementTable
+
+        measured = harness.measure_many(functions)
+        table = self._table(functions, "vectorized", True)
+        from_objects = MeasurementTable.from_measurements(
+            measured, memory_sizes_mb=self.SIZES
+        )
+        np.testing.assert_array_equal(table.values, from_objects.values)
+
+    def test_sharded_generation_equals_in_memory(self, tmp_path):
+        config = dict(
+            n_functions=9,
+            memory_sizes_mb=self.SIZES,
+            invocations_per_size=20,
+            seed=77,
+            backend="vectorized",
+        )
+        in_memory = TrainingDatasetGenerator(
+            DatasetGenerationConfig(**config)
+        ).generate_table()
+        sharded = TrainingDatasetGenerator(
+            DatasetGenerationConfig(**config)
+        ).generate_table(shard_size=4, shard_directory=tmp_path / "shards")
+        np.testing.assert_array_equal(in_memory.values, sharded.to_table().values)
+        np.testing.assert_array_equal(in_memory.n_invocations, sharded.n_invocations)
+        assert in_memory.function_names == sharded.function_names
+
+    def test_looped_generation_equals_fused(self):
+        base = dict(
+            n_functions=6, memory_sizes_mb=self.SIZES,
+            invocations_per_size=15, seed=78, backend="vectorized",
+        )
+        fused = TrainingDatasetGenerator(
+            DatasetGenerationConfig(**base, fused=True)
+        ).generate_table()
+        looped = TrainingDatasetGenerator(
+            DatasetGenerationConfig(**base, fused=False)
+        ).generate_table()
+        np.testing.assert_array_equal(fused.values, looped.values)
+
+    def test_standalone_measurements_use_independent_streams(self, cpu_function):
+        """Repeated measure_function calls on one harness auto-advance the
+        measurement index: probing the same function twice must not replay
+        the identical arrival trace and noise stream."""
+        harness = MeasurementHarness(
+            config=HarnessConfig(
+                memory_sizes_mb=(256,), max_invocations_per_size=20, seed=9
+            )
+        )
+        first = harness.measure_function(cpu_function)
+        second = harness.measure_function(cpu_function)
+        assert first.execution_time_ms(256) != second.execution_time_ms(256)
+        # An explicit index reproduces the first standalone call exactly.
+        replay = harness.measure_function(cpu_function, index=0)
+        assert replay.execution_time_ms(256) == first.execution_time_ms(256)
+        # ... and equals measuring the function first in a list.
+        fresh = MeasurementHarness(
+            config=HarnessConfig(
+                memory_sizes_mb=(256,), max_invocations_per_size=20, seed=9
+            )
+        )
+        listed = fresh.measure_many([cpu_function])[0]
+        assert listed.execution_time_ms(256) == first.execution_time_ms(256)
+
+    def test_sink_size_order_still_validated(self, cpu_function):
+        from repro.dataset.sharding import ShardedTableWriter
+
+        harness = MeasurementHarness(
+            config=HarnessConfig(
+                memory_sizes_mb=(128, 512), max_invocations_per_size=8,
+                seed=1, backend="vectorized",
+            )
+        )
+        import tempfile
+
+        writer = ShardedTableWriter(
+            tempfile.mkdtemp(prefix="repro-grouped-test-"),
+            memory_sizes_mb=(512, 128),
+            shard_size=2,
+        )
+        with pytest.raises(ConfigurationError):
+            harness.measure_table([cpu_function], sink=writer)

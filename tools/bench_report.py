@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Run the performance benchmark suite and emit machine-readable reports.
+
+Produces ``BENCH_fleet.json`` and ``BENCH_generation.json`` (schema
+documented in ``docs/PERFORMANCE.md``) so successive PRs can track the
+throughput and peak-memory trajectory of the two hot paths:
+
+- **fleet** — fused cross-function window execution vs the per-function-batch
+  path (windows/s, invocations/s, tracemalloc peak bytes);
+- **generation** — training-dataset generation per execution-backend variant
+  (invocations/s, tracemalloc peak bytes).
+
+The scenarios are not re-defined here: this tool loads the benchmark
+modules (``benchmarks/test_bench_fleet.py`` / ``test_bench_generation.py``)
+and reuses their scenario builders and variant tables, so the reported
+numbers always describe exactly the scenarios CI asserts.  Scale is applied
+through the same environment knobs the benchmarks honour.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_report.py [--out DIR] [--scale quick|full]
+                                                [--only fleet|generation]
+
+The ``quick`` scale (default) finishes in well under a minute and is meant
+for CI trend lines; ``full`` runs the acceptance-criterion scale (500 fleet
+functions, the 200-function default dataset).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import platform as platform_module
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+
+_BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+#: Environment knobs (shared with the benchmarks) applied per --scale.
+SCALES = {
+    "quick": {
+        "REPRO_BENCH_FLEET_SPEEDUP_FUNCTIONS": "120",
+        "REPRO_BENCH_GEN_FUNCTIONS": "60",
+    },
+    "full": {
+        "REPRO_BENCH_FLEET_SPEEDUP_FUNCTIONS": "500",
+        "REPRO_BENCH_GEN_FUNCTIONS": "200",
+    },
+}
+
+
+def _load_benchmark(name: str):
+    """Import a benchmark module by file path (benchmarks/ is not a package)."""
+    spec = importlib.util.spec_from_file_location(name, _BENCHMARKS_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _traced(fn):
+    """Run ``fn`` returning (result, seconds, tracemalloc peak bytes)."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = fn()
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, seconds, peak
+
+
+def bench_fleet() -> dict:
+    """Fused vs looped fleet window execution (the asserted speedup scenario)."""
+    bench = _load_benchmark("test_bench_fleet")
+    functions, traffic = bench._speedup_scenario()
+
+    results = {}
+    reference = None
+    for label, fused in (("fused", True), ("looped", False)):
+        (seconds, invocations, stats), wall_seconds, peak = _traced(
+            lambda fused=fused: bench.execute_windows(functions, traffic, fused=fused)
+        )
+        stacked = np.stack(stats)
+        if reference is None:
+            reference = stacked
+        elif not np.array_equal(reference, stacked):
+            raise AssertionError("fused and looped window stats diverged")
+        results[label] = {
+            "ops_per_second": round(invocations / seconds, 1),
+            "windows_per_second": round(bench.SPEEDUP_WINDOWS / seconds, 3),
+            "seconds": round(seconds, 4),
+            "wall_seconds": round(wall_seconds, 4),
+            "invocations": invocations,
+            "peak_bytes": int(peak),
+        }
+    return {
+        "config": {
+            "n_functions": bench.SPEEDUP_FUNCTIONS,
+            "n_windows": bench.SPEEDUP_WINDOWS,
+            "window_s": bench.WINDOW_S,
+            "mean_rate_range_rps": list(bench.SPEEDUP_RATE_RANGE),
+        },
+        "results": results,
+        "speedup": round(
+            results["looped"]["seconds"] / results["fused"]["seconds"], 2
+        ),
+    }
+
+
+def bench_generation() -> dict:
+    """Dataset-generation throughput per execution-backend variant."""
+    from repro.dataset.generation import DatasetGenerationConfig, TrainingDatasetGenerator
+
+    bench = _load_benchmark("test_bench_generation")
+    n_functions = bench.N_FUNCTIONS
+    invocations = bench._INVOCATIONS
+    results = {}
+    for label, overrides in bench._VARIANTS.items():
+        generator = TrainingDatasetGenerator(
+            DatasetGenerationConfig(n_functions=n_functions, **overrides)
+        )
+        table, seconds, peak = _traced(generator.generate_table)
+        assert table.n_functions == n_functions
+        results[label] = {
+            "ops_per_second": round(invocations / seconds, 1),
+            "seconds": round(seconds, 4),
+            "invocations": invocations,
+            "peak_bytes": int(peak),
+        }
+    return {
+        "config": {
+            "n_functions": n_functions,
+            "memory_sizes": 6,
+            "invocations_per_size": 120,
+        },
+        "results": results,
+        "speedup": round(
+            results["serial"]["seconds"] / results["vectorized"]["seconds"], 2
+        ),
+    }
+
+
+def _report(name: str, scale: str, payload: dict) -> dict:
+    payload.update(
+        {
+            "schema_version": SCHEMA_VERSION,
+            "benchmark": name,
+            "scale": scale,
+            "python": platform_module.python_version(),
+            "numpy": np.__version__,
+        }
+    )
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=".", help="output directory for the JSON files")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    parser.add_argument("--only", choices=("fleet", "generation"), default=None)
+    args = parser.parse_args(argv)
+
+    os.environ.update(SCALES[args.scale])
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.only in (None, "fleet"):
+        report = _report("fleet", args.scale, bench_fleet())
+        path = out_dir / "BENCH_fleet.json"
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(
+            f"{path}: fused {report['results']['fused']['ops_per_second']:,.0f} inv/s, "
+            f"looped {report['results']['looped']['ops_per_second']:,.0f} inv/s "
+            f"({report['speedup']}x)"
+        )
+    if args.only in (None, "generation"):
+        report = _report("generation", args.scale, bench_generation())
+        path = out_dir / "BENCH_generation.json"
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(
+            f"{path}: vectorized {report['results']['vectorized']['ops_per_second']:,.0f} "
+            f"inv/s ({report['speedup']}x over serial)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
