@@ -17,11 +17,22 @@ Three contracts of the online subsystem are asserted here:
    within a small multiple of ONE window's fused columns, independent of the
    number of windows processed.
 
+4. **Sparse window speedup** — at fleet scale (default 100 000 functions,
+   ~1 % active per window) the sparse scheduling path (fused fleet traffic
+   sampling + engine groups only for active functions) executes a window at
+   least ``REPRO_BENCH_FLEET_SPARSE_MIN_SPEEDUP`` (default 10) times faster
+   than the dense reference (one traffic draw and one engine group per
+   function, the pre-sparse window body).
+5. **Sparse memory bound** — peak traced memory of sparse windows at fleet
+   scale is bounded by the *active* invocations plus a small per-function
+   bookkeeping allowance, never by dense per-function stat blocks.
+
 Scale knobs for CI smoke runs: ``REPRO_BENCH_FLEET_FUNCTIONS`` /
 ``REPRO_BENCH_FLEET_WINDOWS`` shrink the service run,
-``REPRO_BENCH_FLEET_SPEEDUP_FUNCTIONS`` shrinks the speedup scenario, and
-``REPRO_BENCH_FLEET_MEM_FACTOR`` loosens the memory ceiling on noisy
-interpreters (a multiplier, default 1).
+``REPRO_BENCH_FLEET_SPEEDUP_FUNCTIONS`` shrinks the speedup scenario,
+``REPRO_BENCH_FLEET_SPARSE_FUNCTIONS`` shrinks the fleet-scale sparse
+scenarios, and ``REPRO_BENCH_FLEET_MEM_FACTOR`` loosens the memory ceilings
+on noisy interpreters (a multiplier, default 1).
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ from __future__ import annotations
 import os
 import time
 import tracemalloc
+from dataclasses import replace
 
 import numpy as np
 
@@ -39,7 +51,7 @@ from repro.monitoring.metrics import METRIC_NAMES
 from repro.simulation.engine import GroupRequest
 from repro.simulation.seeding import STREAM_EXECUTION, STREAM_TRAFFIC, spawn_child_rngs
 from repro.workloads.generator import GeneratorConfig, SyntheticFunctionGenerator
-from repro.workloads.traffic import sample_fleet_traffic
+from repro.workloads.traffic import DiurnalTraffic, sample_fleet_traffic
 
 N_FUNCTIONS = int(os.environ.get("REPRO_BENCH_FLEET_FUNCTIONS", "300"))
 N_WINDOWS = int(os.environ.get("REPRO_BENCH_FLEET_WINDOWS", "8"))
@@ -54,6 +66,20 @@ SPEEDUP_WINDOWS = 3
 #: long tail where most functions see a handful of requests per hour.
 SPEEDUP_RATE_RANGE = (0.0005, 0.003)
 
+#: Functions in the fleet-scale sparse scenarios (the acceptance criterion
+#: is defined at 100 000 with ~1 % of the fleet active per window).
+SPARSE_FUNCTIONS = int(os.environ.get("REPRO_BENCH_FLEET_SPARSE_FUNCTIONS", "100000"))
+SPARSE_WINDOWS = 3
+
+#: Mean request-rate range of the sparse scenario: deep idle tail where the
+#: expected arrivals per window are a few per-mille, so ~1 % of functions
+#: see any traffic in a given hour.
+SPARSE_RATE_RANGE = (1e-6, 5e-6)
+
+#: Distinct function specs replicated across the sparse fleet (building
+#: 100 000 unique specs costs more than the windows being measured).
+SPARSE_BASE_SPECS = 64
+
 #: Float64 slots the fused window pipeline holds per invocation (metric
 #: columns, timing/noise intermediates, aggregation working set).
 _COLUMN_SLOTS = 130
@@ -65,6 +91,10 @@ def _mem_factor() -> float:
 
 def _min_speedup() -> float:
     return float(os.environ.get("REPRO_BENCH_FLEET_MIN_SPEEDUP", "5.0"))
+
+
+def _min_sparse_speedup() -> float:
+    return float(os.environ.get("REPRO_BENCH_FLEET_SPARSE_MIN_SPEEDUP", "10.0"))
 
 
 def _build_service(context) -> FleetRightsizingService:
@@ -210,3 +240,168 @@ def test_bench_fused_window_speedup():
         f"({speedup:.1f}x, bit-identical stats)"
     )
     assert speedup >= _min_speedup()
+
+
+def _sparse_scenario(n_functions=None):
+    """A fleet-scale mostly-idle scenario: few specs replicated, deep idle tail.
+
+    A handful of base specs are replicated under distinct names (the window
+    cost under measurement does not depend on spec uniqueness), each serving
+    diurnal traffic whose expected arrivals per window are a few per-mille —
+    so roughly 1 % of the fleet is active in any given hour.
+    """
+    n_functions = SPARSE_FUNCTIONS if n_functions is None else n_functions
+    bases = SyntheticFunctionGenerator(
+        config=GeneratorConfig(seed=95, name_prefix="bench-sparse")
+    ).generate(min(SPARSE_BASE_SPECS, n_functions))
+    functions = [
+        replace(bases[i % len(bases)], name=f"bench-sparse-{i}")
+        for i in range(n_functions)
+    ]
+    rng = np.random.default_rng(96)
+    lo, hi = SPARSE_RATE_RANGE
+    traffic = [
+        DiurnalTraffic(
+            mean_rate_rps=float(rng.uniform(lo, hi)),
+            amplitude=float(rng.uniform(0.4, 0.8)),
+            phase_s=float(rng.uniform(0.0, 86_400.0)),
+        )
+        for _ in range(n_functions)
+    ]
+    return functions, traffic
+
+
+def execute_dense_reference_windows(functions, traffic, n_windows=SPARSE_WINDOWS, seed=97):
+    """The pre-sparse window body: O(fleet) work regardless of activity.
+
+    One spawned traffic stream and one ``arrivals()`` call per function, one
+    engine group per function (empty or not), one dense stat reduction —
+    exactly what ``FleetSimulator.run_window`` did before sparse scheduling.
+    Used as the dense baseline of the sparse speedup and by
+    ``tools/bench_report.py``.
+    """
+    simulator = FleetSimulator(
+        functions, traffic, FleetConfig(window_s=WINDOW_S, seed=seed)
+    )
+    n = len(functions)
+    seconds = 0.0
+    invocations = 0
+    per_window_stats = []
+    for window_index in range(n_windows):
+        start = time.perf_counter()
+        start_s = window_index * WINDOW_S
+        traffic_rngs = spawn_child_rngs(seed, STREAM_TRAFFIC, window_index, n=n)
+        execution_rngs = spawn_child_rngs(seed, STREAM_EXECUTION, window_index, n=n)
+        requests = [
+            GroupRequest.for_deployed(
+                simulator.platform,
+                fn.name,
+                model.arrivals(start_s, start_s + WINDOW_S, rng),
+                execution_rngs[i],
+            )
+            for i, (fn, model, rng) in enumerate(zip(functions, traffic, traffic_rngs))
+        ]
+        batch = simulator.backend.run_grouped(simulator.platform, requests)
+        stats, _ = batch.aggregate_stats(0.0, True)
+        seconds += time.perf_counter() - start
+        invocations += batch.n_invocations
+        per_window_stats.append(stats)
+    return seconds, invocations, per_window_stats
+
+
+def execute_sparse_windows(functions, traffic, n_windows=SPARSE_WINDOWS, seed=97, **knobs):
+    """Run sparse fleet windows end to end (sampling + execution timed)."""
+    simulator = FleetSimulator(
+        functions,
+        traffic,
+        FleetConfig(window_s=WINDOW_S, seed=seed, sparse=True, **knobs),
+    )
+    seconds = 0.0
+    invocations = 0
+    windows = []
+    for _ in range(n_windows):
+        start = time.perf_counter()
+        window = simulator.run_window()
+        seconds += time.perf_counter() - start
+        invocations += int(np.sum(window.n_arrivals))
+        windows.append(window)
+    return seconds, invocations, windows
+
+
+def test_bench_sparse_window_speedup():
+    """Acceptance criterion: sparse windows >= 10x the dense reference at scale.
+
+    Parity is gated first at a sub-scale under per-function traffic (where
+    sparse and dense consume identical streams and must agree bit for bit),
+    then the speedup is measured at full scale under fused traffic sampling.
+    """
+    parity_functions, parity_traffic = _sparse_scenario(
+        min(2_000, SPARSE_FUNCTIONS)
+    )
+    _, _, dense_stats = execute_dense_reference_windows(
+        parity_functions, parity_traffic, n_windows=1
+    )
+    _, _, sparse_windows = execute_sparse_windows(
+        parity_functions, parity_traffic, n_windows=1, traffic_mode="per-function"
+    )
+    np.testing.assert_array_equal(sparse_windows[0].to_dense().stats, dense_stats[0])
+
+    functions, traffic = _sparse_scenario()
+    sparse_seconds, sparse_invocations, sparse_windows = execute_sparse_windows(
+        functions, traffic
+    )
+    dense_seconds, _, _ = execute_dense_reference_windows(functions, traffic)
+
+    active = int(np.mean([w.n_active for w in sparse_windows]))
+    speedup = dense_seconds / sparse_seconds
+    print()
+    print(
+        f"sparse window execution: {SPARSE_FUNCTIONS:,} functions x "
+        f"{SPARSE_WINDOWS} windows (~{active:,} active/window, "
+        f"{sparse_invocations:,} arrivals): "
+        f"sparse {sparse_seconds * 1e3 / SPARSE_WINDOWS:.1f} ms/window, "
+        f"dense {dense_seconds * 1e3 / SPARSE_WINDOWS:.1f} ms/window "
+        f"({speedup:.1f}x)"
+    )
+    assert sparse_invocations > 0
+    # ~1 % of the fleet active per window is the scenario's premise.
+    assert active < SPARSE_FUNCTIONS * 0.05
+    assert speedup >= _min_sparse_speedup()
+
+
+def test_bench_fleet_window_memory_bounded_by_active():
+    """Peak sparse-window memory is bounded by active work, not fleet size.
+
+    The allowance is one window's fused columns over the ACTIVE invocations
+    (the same ``_COLUMN_SLOTS`` budget as the dense memory contract) plus
+    128 bytes per fleet function for O(1)-per-function bookkeeping (arrival
+    counts, offsets, the dense ``memory_mb`` snapshot, bincount scratch).
+    A dense ``(n, n_metrics, n_stats)`` stats block alone would be
+    ``n * 600`` bytes and blow through the bound at fleet scale.
+    """
+    functions, traffic = _sparse_scenario()
+    simulator = FleetSimulator(
+        functions,
+        traffic,
+        FleetConfig(window_s=WINDOW_S, seed=98, sparse=True),
+    )
+
+    tracemalloc.start()
+    windows = [simulator.run_window() for _ in range(SPARSE_WINDOWS)]
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    active_invocations = max(int(np.sum(w.n_arrivals)) for w in windows)
+    column_bytes = max(active_invocations, 1) * 8 * _COLUMN_SLOTS
+    bookkeeping_bytes = 128 * len(functions)
+    bound = (3 * column_bytes + bookkeeping_bytes) * _mem_factor()
+    print()
+    print(
+        f"sparse window memory: {SPARSE_FUNCTIONS:,} functions, "
+        f"{active_invocations:,} active invocations/window -> peak "
+        f"{peak_bytes / 1e6:.2f} MB (bound {bound / 1e6:.2f} MB, "
+        f"dense stats block would be "
+        f"{len(functions) * 8 * len(METRIC_NAMES) * len(STAT_NAMES) / 1e6:.2f} MB)"
+    )
+    assert all(w.n_active < SPARSE_FUNCTIONS * 0.05 for w in windows)
+    assert peak_bytes < bound

@@ -7,7 +7,8 @@ windows, continuously rightsized through the batch prediction API, with
 realized savings accounted against the default deployment:
 
 - :mod:`repro.fleet.simulator`  -- :class:`FleetSimulator` / windowed
-  columnar monitoring (:class:`FleetWindow`).
+  columnar monitoring (:class:`FleetWindow`, active-rows-only
+  :class:`SparseFleetWindow`).
 - :mod:`repro.fleet.controller` -- :class:`RightsizingController` with
   warm-up, hysteresis, cooldown and rollback guardrails.
 - :mod:`repro.fleet.ledger`     -- :class:`SavingsLedger`, the longitudinal
@@ -26,12 +27,18 @@ from repro.fleet.controller import (
 )
 from repro.fleet.ledger import SavingsLedger, WindowAccount
 from repro.fleet.service import FleetRightsizingService, FleetRunReport
-from repro.fleet.simulator import FleetConfig, FleetSimulator, FleetWindow
+from repro.fleet.simulator import (
+    FleetConfig,
+    FleetSimulator,
+    FleetWindow,
+    SparseFleetWindow,
+)
 
 __all__ = [
     "FleetConfig",
     "FleetSimulator",
     "FleetWindow",
+    "SparseFleetWindow",
     "ControllerConfig",
     "RightsizingController",
     "ResizeEvent",

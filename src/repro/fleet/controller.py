@@ -38,75 +38,19 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.core.predictor import SizelessPredictor
 from repro.dataset.table import MeasurementTable
-from repro.fleet.simulator import FleetSimulator, FleetWindow
-from repro.monitoring.aggregation import STAT_NAMES
+from repro.fleet.simulator import FleetSimulator, FleetWindow, SparseFleetWindow
+from repro.monitoring.aggregation import STAT_NAMES, merge_stat_blocks
 from repro.monitoring.metrics import METRIC_NAMES
 
+__all__ = [
+    "ControllerConfig",
+    "ResizeEvent",
+    "RightsizingController",
+    "merge_stat_blocks",  # re-export; lives in repro.monitoring.aggregation
+]
+
 _MEAN = STAT_NAMES.index("mean")
-_STD = STAT_NAMES.index("std")
-_CV = STAT_NAMES.index("cv")
 _EXECUTION_TIME = METRIC_NAMES.index("execution_time")
-
-
-def merge_stat_blocks(
-    stats_a: np.ndarray,
-    counts_a: np.ndarray,
-    stats_b: np.ndarray,
-    counts_b: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Merge two windows of per-function stat blocks into pooled statistics.
-
-    Combines ``(n_functions, n_metrics, n_stats)`` mean/std/cv blocks with
-    their invocation counts using the exact pooled-moment identities (the
-    merged mean is the count-weighted mean; the merged variance comes from
-    the merged second moment), entirely as array operations.  Rows with a
-    zero combined count stay zero; merging a window into an empty
-    accumulator reproduces the window bit for bit.
-
-    Parameters
-    ----------
-    stats_a:
-        Accumulated statistics.
-    counts_a:
-        Invocation counts behind ``stats_a``.
-    stats_b:
-        New window statistics.
-    counts_b:
-        Invocation counts behind ``stats_b``.
-
-    Returns
-    -------
-    tuple
-        ``(stats, counts)`` of the pooled statistics.
-    """
-    counts_a = np.asarray(counts_a, dtype=np.int64)
-    counts_b = np.asarray(counts_b, dtype=np.int64)
-    ca = counts_a.astype(float)[:, None, None]
-    cb = counts_b.astype(float)[:, None, None]
-    total = ca + cb
-    safe_total = np.where(total > 0, total, 1.0)
-
-    mean_a, mean_b = stats_a[..., _MEAN], stats_b[..., _MEAN]
-    std_a, std_b = stats_a[..., _STD], stats_b[..., _STD]
-    ca2, cb2, total2 = ca[..., 0], cb[..., 0], safe_total[..., 0]
-    mean = (ca2 * mean_a + cb2 * mean_b) / total2
-    second_moment = ca2 * (std_a**2 + mean_a**2) + cb2 * (std_b**2 + mean_b**2)
-    variance = np.maximum(second_moment / total2 - mean**2, 0.0)
-    std = np.sqrt(variance)
-    safe = np.abs(mean) > 1e-12
-    cv = np.divide(std, mean, out=np.zeros_like(std), where=safe)
-
-    merged = np.zeros_like(stats_a)
-    merged[..., _MEAN] = mean
-    merged[..., _STD] = std
-    merged[..., _CV] = cv
-    # One-sided merges pass the populated side through untouched, so merging
-    # a window into an empty accumulator reproduces the window bit for bit
-    # (the pooled formulas would round twice).
-    merged[counts_a == 0] = stats_b[counts_a == 0]
-    merged[counts_b == 0] = stats_a[counts_b == 0]
-    merged[(counts_a == 0) & (counts_b == 0)] = 0.0
-    return merged, counts_a + counts_b
 
 
 @dataclass(frozen=True)
@@ -249,18 +193,37 @@ class RightsizingController:
         self._windows_observed[indices] = 0
 
     # ---------------------------------------------------------------- observe
-    def _observe(self, window: FleetWindow) -> None:
-        """Merge one window into the running accumulators (vectorized)."""
-        self._acc_stats, self._acc_counts = merge_stat_blocks(
-            self._acc_stats, self._acc_counts, window.stats, window.n_invocations
-        )
-        self._acc_cost += window.cost_usd
-        self._windows_observed += window.n_invocations > 0
+    def _observe(self, window: FleetWindow | SparseFleetWindow) -> None:
+        """Merge one window into the running accumulators (vectorized).
+
+        Sparse windows merge only their active rows — because zero-count
+        sides of :func:`merge_stat_blocks` pass the populated side through
+        untouched, this is bit-identical to the dense merge while costing
+        O(active) instead of O(fleet).
+        """
+        if isinstance(window, SparseFleetWindow):
+            rows = window.active
+            merged, counts = merge_stat_blocks(
+                self._acc_stats[rows],
+                self._acc_counts[rows],
+                window.stats,
+                window.n_invocations,
+            )
+            self._acc_stats[rows] = merged
+            self._acc_counts[rows] = counts
+            self._acc_cost[rows] += window.cost_usd
+            self._windows_observed[rows] += window.n_invocations > 0
+        else:
+            self._acc_stats, self._acc_counts = merge_stat_blocks(
+                self._acc_stats, self._acc_counts, window.stats, window.n_invocations
+            )
+            self._acc_cost += window.cost_usd
+            self._windows_observed += window.n_invocations > 0
         np.maximum(self._cooldown - 1, 0, out=self._cooldown)
 
     # --------------------------------------------------------------- rollback
     def _check_rollbacks(
-        self, simulator: FleetSimulator, window: FleetWindow
+        self, simulator: FleetSimulator, window: FleetWindow | SparseFleetWindow
     ) -> list[ResizeEvent]:
         """Evaluate resized functions and revert realized regressions."""
         events: list[ResizeEvent] = []
@@ -326,7 +289,7 @@ class RightsizingController:
         )
 
     def _decide(
-        self, simulator: FleetSimulator, window: FleetWindow
+        self, simulator: FleetSimulator, window: FleetWindow | SparseFleetWindow
     ) -> list[ResizeEvent]:
         """Batch-predict eligible cohorts and apply guarded resizes."""
         events: list[ResizeEvent] = []
@@ -382,7 +345,9 @@ class RightsizingController:
         return events
 
     # ------------------------------------------------------------------- step
-    def step(self, simulator: FleetSimulator, window: FleetWindow) -> list[ResizeEvent]:
+    def step(
+        self, simulator: FleetSimulator, window: FleetWindow | SparseFleetWindow
+    ) -> list[ResizeEvent]:
         """Process one monitoring window: observe, roll back, decide.
 
         Returns the deployment changes applied to the simulator, rollbacks

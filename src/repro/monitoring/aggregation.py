@@ -273,6 +273,72 @@ def grouped_stat_blocks(
     return blocks, counts
 
 
+def merge_stat_blocks(
+    stats_a: np.ndarray,
+    counts_a: np.ndarray,
+    stats_b: np.ndarray,
+    counts_b: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two batches of per-group stat blocks into pooled statistics.
+
+    Combines ``(n_groups, n_metrics, n_stats)`` mean/std/cv blocks with
+    their invocation counts using the exact pooled-moment identities (the
+    merged mean is the count-weighted mean; the merged variance comes from
+    the merged second moment), entirely as array operations.  Rows with a
+    zero combined count stay zero; merging a block into an empty accumulator
+    reproduces the block bit for bit — which is what lets sparse fleet
+    windows merge only their *active* rows and stay bit-identical to the
+    dense merge (inactive rows are exactly the zero-count pass-through).
+
+    Parameters
+    ----------
+    stats_a:
+        Accumulated statistics.
+    counts_a:
+        Invocation counts behind ``stats_a``.
+    stats_b:
+        New window statistics.
+    counts_b:
+        Invocation counts behind ``stats_b``.
+
+    Returns
+    -------
+    tuple
+        ``(stats, counts)`` of the pooled statistics.
+    """
+    mean_col = STAT_NAMES.index("mean")
+    std_col = STAT_NAMES.index("std")
+    cv_col = STAT_NAMES.index("cv")
+    counts_a = np.asarray(counts_a, dtype=np.int64)
+    counts_b = np.asarray(counts_b, dtype=np.int64)
+    ca = counts_a.astype(float)[:, None, None]
+    cb = counts_b.astype(float)[:, None, None]
+    total = ca + cb
+    safe_total = np.where(total > 0, total, 1.0)
+
+    mean_a, mean_b = stats_a[..., mean_col], stats_b[..., mean_col]
+    std_a, std_b = stats_a[..., std_col], stats_b[..., std_col]
+    ca2, cb2, total2 = ca[..., 0], cb[..., 0], safe_total[..., 0]
+    mean = (ca2 * mean_a + cb2 * mean_b) / total2
+    second_moment = ca2 * (std_a**2 + mean_a**2) + cb2 * (std_b**2 + mean_b**2)
+    variance = np.maximum(second_moment / total2 - mean**2, 0.0)
+    std = np.sqrt(variance)
+    safe = np.abs(mean) > 1e-12
+    cv = np.divide(std, mean, out=np.zeros_like(std), where=safe)
+
+    merged = np.zeros_like(stats_a)
+    merged[..., mean_col] = mean
+    merged[..., std_col] = std
+    merged[..., cv_col] = cv
+    # One-sided merges pass the populated side through untouched, so merging
+    # a window into an empty accumulator reproduces the window bit for bit
+    # (the pooled formulas would round twice).
+    merged[counts_a == 0] = stats_b[counts_a == 0]
+    merged[counts_b == 0] = stats_a[counts_b == 0]
+    merged[(counts_a == 0) & (counts_b == 0)] = 0.0
+    return merged, counts_a + counts_b
+
+
 def stat_matrix(
     metrics: dict[str, np.ndarray],
     cold_start: np.ndarray | None = None,

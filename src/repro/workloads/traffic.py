@@ -27,6 +27,14 @@ stateless and window-independent (any chunking evaluates the same burst
 placement and cycle phase); the sampled arrivals themselves consume the
 shared random stream per window, so changing the window boundaries redraws
 them (:class:`TraceTraffic` replay is exact and chunking-independent).
+
+Fleet-scale sampling lives here too.  :func:`fleet_rate_matrix` evaluates the
+rates of many models in float64 blocks (one batched kernel call per model
+*class* via :meth:`TrafficModel.batch_rate`, bit-identical to the per-model
+path), and :class:`FleetTrafficSchedule` fuses the Lewis–Shedler thinning of
+a whole fleet into one Poisson draw, one uniform pass and one thinning pass
+per window, producing columnar :class:`FleetArrivals` whose cost scales with
+the window's *candidates*, not with fleet size.
 """
 
 from __future__ import annotations
@@ -53,6 +61,15 @@ def _require_window(start_s: float, end_s: float) -> tuple[float, float]:
     if not np.isfinite(end_s) or end_s <= start_s:
         raise ConfigurationError("window end must be finite and after its start")
     return start_s, end_s
+
+
+def _window_midpoints(start_s: float, end_s: float, resolution: int) -> np.ndarray:
+    """Midpoint-rule sample times of a window at a given resolution."""
+    resolution = int(resolution)
+    if resolution < 1:
+        raise ConfigurationError("resolution must be at least 1")
+    step = (end_s - start_s) / resolution
+    return start_s + step * (np.arange(resolution) + 0.5)
 
 
 class TrafficModel(abc.ABC):
@@ -119,11 +136,42 @@ class TrafficModel(abc.ABC):
         return times[keep]
 
     def mean_rate(self, start_s: float, end_s: float, resolution: int = 256) -> float:
-        """Approximate mean rate over a window (midpoint rule, for reports)."""
+        """Approximate mean rate over a window (midpoint rule, for reports).
+
+        ``resolution`` is the number of midpoint samples; the fleet-level
+        :func:`fleet_mean_rates` evaluates the same quadrature for many
+        models in one float64 block and is bit-identical at equal resolution.
+        """
         start_s, end_s = _require_window(start_s, end_s)
-        step = (end_s - start_s) / resolution
-        midpoints = start_s + step * (np.arange(resolution) + 0.5)
+        midpoints = _window_midpoints(start_s, end_s, resolution)
         return float(np.mean(self.rate(midpoints)))
+
+    def batch_params(self) -> tuple[float, ...] | None:
+        """Parameters feeding the class-level batched rate kernel.
+
+        Models whose rate is a closed-form elementwise function of a fixed
+        parameter tuple return it here; :func:`fleet_rate_matrix` and
+        :meth:`FleetTrafficSchedule.sample_window` then evaluate ONE
+        :meth:`batch_rate` call per model *class* instead of one Python
+        :meth:`rate` call per model.  Returning ``None`` (the default) opts
+        out of batching — the per-model :meth:`rate` fallback is used
+        (:class:`BurstyTraffic` needs its per-interval placement loop;
+        :class:`TraceTraffic` replay never evaluates a rate).
+        """
+        return None
+
+    @staticmethod
+    def batch_rate(params: np.ndarray, times_s: np.ndarray) -> np.ndarray:
+        """Vectorized rate kernel over many models of one class at once.
+
+        ``params`` carries one row per :meth:`batch_params` entry, already
+        broadcastable against ``times_s`` (``(n_params, m, 1)`` against a
+        ``(resolution,)`` grid, or ``(n_params, n)`` against per-candidate
+        times).  Implementations must apply the exact elementwise operation
+        order of :meth:`rate`, which makes batched evaluation bit-identical
+        to the per-model path — the parity tests assert it.
+        """
+        raise NotImplementedError("this traffic model has no batched rate kernel")
 
 
 @dataclass(frozen=True)
@@ -150,6 +198,15 @@ class ConstantTraffic(TrafficModel):
     def peak_rate(self) -> float:
         """The constant rate is its own envelope."""
         return float(self.rate_rps)
+
+    def batch_params(self) -> tuple[float, ...]:
+        """The constant rate is the whole parameterization."""
+        return (float(self.rate_rps),)
+
+    @staticmethod
+    def batch_rate(params: np.ndarray, times_s: np.ndarray) -> np.ndarray:
+        """Broadcast each model's rate over the times (x * 1.0 is exact)."""
+        return params[0] * np.ones_like(times_s)
 
 
 @dataclass(frozen=True)
@@ -198,6 +255,22 @@ class DiurnalTraffic(TrafficModel):
     def peak_rate(self) -> float:
         """The crest of the sinusoid."""
         return float(self.mean_rate_rps * (1.0 + self.amplitude))
+
+    def batch_params(self) -> tuple[float, ...]:
+        """(mean, amplitude, period, phase) rows of the batched kernel."""
+        return (
+            float(self.mean_rate_rps),
+            float(self.amplitude),
+            float(self.period_s),
+            float(self.phase_s),
+        )
+
+    @staticmethod
+    def batch_rate(params: np.ndarray, times_s: np.ndarray) -> np.ndarray:
+        """Sinusoid kernel in the exact operation order of :meth:`rate`."""
+        mean, amplitude, period, phase = params
+        cycle = np.sin(2.0 * np.pi * (times_s - phase) / period)
+        return mean * (1.0 + amplitude * cycle)
 
 
 @dataclass(frozen=True)
@@ -311,6 +384,22 @@ class RampTraffic(TrafficModel):
     def peak_rate(self) -> float:
         """The larger of the two endpoint rates."""
         return float(max(self.start_rate_rps, self.end_rate_rps))
+
+    def batch_params(self) -> tuple[float, ...]:
+        """(start, end, ramp_start, ramp_duration) rows of the batched kernel."""
+        return (
+            float(self.start_rate_rps),
+            float(self.end_rate_rps),
+            float(self.ramp_start_s),
+            float(self.ramp_duration_s),
+        )
+
+    @staticmethod
+    def batch_rate(params: np.ndarray, times_s: np.ndarray) -> np.ndarray:
+        """Piecewise-linear kernel in the exact operation order of :meth:`rate`."""
+        start, end, ramp_start, ramp_duration = params
+        progress = np.clip((times_s - ramp_start) / ramp_duration, 0.0, 1.0)
+        return start + progress * (end - start)
 
 
 @dataclass(frozen=True)
@@ -469,3 +558,300 @@ def sample_fleet_traffic(
         else:
             models.append(ConstantTraffic(rate_rps=mean_rate))
     return models
+
+
+def fleet_rate_matrix(
+    models: list[TrafficModel],
+    start_s: float,
+    end_s: float,
+    resolution: int = 256,
+) -> np.ndarray:
+    """Evaluate many models' rates over one window as a float64 block.
+
+    Models sharing a class with a batched kernel
+    (:meth:`TrafficModel.batch_rate`) are evaluated in ONE call per class;
+    the rest fall back to their per-model :meth:`~TrafficModel.rate`.  Rows
+    are bit-identical to ``model.rate(midpoints)`` either way, and the
+    midpoint grid is exactly the one :meth:`TrafficModel.mean_rate` uses, so
+    ``fleet_rate_matrix(...).mean(axis=1)`` reproduces per-model
+    ``mean_rate`` calls bit for bit (see :func:`fleet_mean_rates`).
+
+    Parameters
+    ----------
+    models:
+        The fleet's traffic models in function-index order.
+    start_s / end_s:
+        The evaluated window.
+    resolution:
+        Number of midpoint samples per model (time resolution of the
+        quadrature; 256 matches :meth:`TrafficModel.mean_rate`).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_models, resolution)`` float64 rate matrix.
+    """
+    start_s, end_s = _require_window(start_s, end_s)
+    midpoints = _window_midpoints(start_s, end_s, resolution)
+    matrix = np.empty((len(models), midpoints.shape[0]), dtype=np.float64)
+    grouped: dict[type, list[int]] = {}
+    fallback: list[int] = []
+    for index, model in enumerate(models):
+        if model.batch_params() is None:
+            fallback.append(index)
+        else:
+            grouped.setdefault(type(model), []).append(index)
+    for cls, indices in grouped.items():
+        columns = np.array(
+            [models[i].batch_params() for i in indices], dtype=np.float64
+        ).T
+        matrix[np.asarray(indices)] = cls.batch_rate(columns[:, :, None], midpoints)
+    for index in fallback:
+        matrix[index] = models[index].rate(midpoints)
+    return matrix
+
+
+def fleet_mean_rates(
+    models: list[TrafficModel],
+    start_s: float,
+    end_s: float,
+    resolution: int = 256,
+) -> np.ndarray:
+    """Window-mean rate of many models at once (batched ``mean_rate``).
+
+    Bit-identical to ``[m.mean_rate(start_s, end_s, resolution) for m in
+    models]`` — same midpoint grid, same elementwise kernels, and numpy's
+    row-wise pairwise mean reduces each row exactly like the 1-D case.
+    """
+    return fleet_rate_matrix(models, start_s, end_s, resolution).mean(axis=1)
+
+
+@dataclass(frozen=True)
+class FleetArrivals:
+    """One window's arrivals for a whole fleet, in columnar group-major form.
+
+    ``times_s`` concatenates every function's sorted window arrivals in
+    function-index order; ``offsets`` (``(n_functions + 1,)`` int64) delimits
+    each function's slice.  Idle functions cost two equal offsets — O(1)
+    bookkeeping instead of an empty array object each.
+
+    Attributes
+    ----------
+    start_s / end_s:
+        The sampled window.
+    times_s:
+        ``(total,)`` flat arrival timestamps, sorted within each function.
+    offsets:
+        ``(n_functions + 1,)`` group boundaries into ``times_s``.
+    """
+
+    start_s: float
+    end_s: float
+    times_s: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def n_functions(self) -> int:
+        """Number of fleet functions covered."""
+        return int(self.offsets.shape[0] - 1)
+
+    @property
+    def total(self) -> int:
+        """Fleet-wide arrival count of the window."""
+        return int(self.offsets[-1])
+
+    def counts(self) -> np.ndarray:
+        """Per-function arrival counts, ``(n_functions,)``."""
+        return np.diff(self.offsets)
+
+    def active(self) -> np.ndarray:
+        """Sorted indices of functions with at least one arrival."""
+        return np.flatnonzero(np.diff(self.offsets))
+
+    def arrivals_of(self, index: int) -> np.ndarray:
+        """One function's window arrivals (a view into ``times_s``)."""
+        return self.times_s[self.offsets[index] : self.offsets[index + 1]]
+
+    @staticmethod
+    def from_arrays(
+        start_s: float, end_s: float, per_function: list[np.ndarray]
+    ) -> "FleetArrivals":
+        """Pack per-function arrival arrays into the columnar form."""
+        counts = np.array([a.shape[0] for a in per_function], dtype=np.int64)
+        offsets = np.zeros(counts.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        times = (
+            np.concatenate(per_function)
+            if per_function
+            else np.empty(0, dtype=float)
+        )
+        return FleetArrivals(
+            start_s=float(start_s),
+            end_s=float(end_s),
+            times_s=np.asarray(times, dtype=float),
+            offsets=offsets,
+        )
+
+
+class FleetTrafficSchedule:
+    """Fused Lewis–Shedler thinning across a whole fleet of traffic models.
+
+    Precomputes, once per fleet, everything the per-window sampler needs: the
+    per-function thinning envelopes, one parameter matrix per model class
+    with a batched rate kernel, and the index lists of the two exceptions —
+    models without a kernel (rate evaluated per model on its contiguous
+    candidate slice) and deterministic trace replays (spliced in exactly,
+    outside the thinning process, with a thinning envelope of zero).
+
+    :meth:`sample_window` then draws one window of the whole fleet from ONE
+    random stream: one vectorized Poisson draw of per-function candidate
+    counts, one uniform pass for candidate times, one batched rate-matrix
+    evaluation, one thinning pass.  This replaces ``n_functions`` per-model
+    ``arrivals()`` Python calls — the last per-function scalar loop of the
+    fleet window hot path — with work proportional to the window's candidate
+    count.  The fused stream is deterministic in (seed, window) but
+    deliberately *different* from the per-function streams of
+    :meth:`TrafficModel.arrivals`; both are valid draws of the same arrival
+    processes.
+    """
+
+    def __init__(self, models: list[TrafficModel]) -> None:
+        """Index the fleet's models by kernel class and exception kind."""
+        self.models = list(models)
+        n = len(self.models)
+        peaks = np.zeros(n, dtype=float)
+        self._class_code = np.full(n, -1, dtype=np.int64)
+        self._rank = np.zeros(n, dtype=np.int64)
+        self._trace_indices: list[int] = []
+        self._fallback_indices: list[int] = []
+        grouped: dict[type, list[int]] = {}
+        for index, model in enumerate(self.models):
+            if isinstance(model, TraceTraffic):
+                self._trace_indices.append(index)
+                continue  # peak stays 0.0: replay is exact, never thinned
+            peaks[index] = float(model.peak_rate)
+            if model.batch_params() is None:
+                self._fallback_indices.append(index)
+            else:
+                grouped.setdefault(type(model), []).append(index)
+        self._kernels: list[tuple[type, np.ndarray]] = []
+        for code, (cls, indices) in enumerate(grouped.items()):
+            members = np.asarray(indices, dtype=np.int64)
+            self._class_code[members] = code
+            self._rank[members] = np.arange(members.shape[0])
+            columns = np.array(
+                [self.models[i].batch_params() for i in indices], dtype=np.float64
+            ).T
+            self._kernels.append((cls, columns))
+        self.thinning_peaks = peaks
+
+    @property
+    def n_functions(self) -> int:
+        """Number of fleet functions scheduled."""
+        return len(self.models)
+
+    def sample_window(
+        self,
+        start_s: float,
+        end_s: float,
+        rng: np.random.Generator,
+        max_per_function: int | None = None,
+    ) -> FleetArrivals:
+        """Sample one window of the whole fleet's arrivals from one stream.
+
+        Parameters
+        ----------
+        start_s / end_s:
+            The window ``[start, end)``.
+        rng:
+            The window's fused traffic stream; equal state reproduces the
+            window exactly.
+        max_per_function:
+            Optional per-function arrival cap, applied by uniform
+            subsampling with the same ``linspace`` semantics as the dense
+            per-function path.
+
+        Returns
+        -------
+        FleetArrivals
+            The window's columnar arrivals.
+        """
+        start_s, end_s = _require_window(start_s, end_s)
+        duration = end_s - start_s
+        n = self.n_functions
+        counts = rng.poisson(self.thinning_peaks * duration)
+        total = int(counts.sum())
+        gids = np.repeat(np.arange(n, dtype=np.int64), counts)
+        times = start_s + duration * rng.random(total)
+        # Sort candidates within each function; gids is already grouped, so
+        # the permutation only reorders inside groups and gids stays valid.
+        times = times[np.lexsort((times, gids))]
+        rates = np.empty(total, dtype=float)
+        candidate_codes = self._class_code[gids]
+        for code, (cls, columns) in enumerate(self._kernels):
+            members = candidate_codes == code
+            if np.any(members):
+                rates[members] = cls.batch_rate(
+                    columns[:, self._rank[gids[members]]], times[members]
+                )
+        if self._fallback_indices:
+            candidate_offsets = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=candidate_offsets[1:])
+            for i in self._fallback_indices:
+                a, b = int(candidate_offsets[i]), int(candidate_offsets[i + 1])
+                if b > a:
+                    rates[a:b] = self.models[i].rate(times[a:b])
+        accept = rng.random(total) * self.thinning_peaks[gids] < rates
+        kept_times = times[accept]
+        kept_gids = gids[accept]
+        kept_counts = np.bincount(kept_gids, minlength=n).astype(np.int64)
+
+        # Deterministic trace replays splice in outside the thinning stream
+        # (TraceTraffic.arrivals never consumes the rng).
+        special: dict[int, np.ndarray] = {}
+        for i in self._trace_indices:
+            replay = self.models[i].arrivals(start_s, end_s, rng)
+            if replay.shape[0]:
+                special[i] = replay
+
+        cap = max_per_function
+        if cap is not None:
+            kept_offsets = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(kept_counts, out=kept_offsets[1:])
+            for i in np.flatnonzero(kept_counts > cap):
+                segment = kept_times[kept_offsets[i] : kept_offsets[i + 1]]
+                keep = np.linspace(0, segment.shape[0] - 1, cap).astype(int)
+                special[int(i)] = segment[keep]
+            for i, replay in list(special.items()):
+                if replay.shape[0] > cap:
+                    keep = np.linspace(0, replay.shape[0] - 1, cap).astype(int)
+                    special[i] = replay[keep]
+
+        if not special:
+            offsets = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(kept_counts, out=offsets[1:])
+            return FleetArrivals(
+                start_s=start_s, end_s=end_s, times_s=kept_times, offsets=offsets
+            )
+
+        # General path: scatter the untouched thinned functions in one
+        # vectorized pass and splice the few special (trace / capped) ones.
+        final_counts = kept_counts.copy()
+        for i, replay in special.items():
+            final_counts[i] = replay.shape[0]
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(final_counts, out=offsets[1:])
+        out = np.empty(int(offsets[-1]), dtype=float)
+        kept_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(kept_counts, out=kept_offsets[1:])
+        untouched = np.ones(n, dtype=bool)
+        untouched[list(special)] = False
+        keep_mask = untouched[kept_gids]
+        within_group = (
+            np.arange(kept_gids.shape[0], dtype=np.int64) - kept_offsets[kept_gids]
+        )
+        destinations = offsets[kept_gids] + within_group
+        out[destinations[keep_mask]] = kept_times[keep_mask]
+        for i, replay in special.items():
+            out[offsets[i] : offsets[i] + replay.shape[0]] = replay
+        return FleetArrivals(start_s=start_s, end_s=end_s, times_s=out, offsets=offsets)

@@ -1,0 +1,401 @@
+"""Sparse scheduling, cohort deduplication and shard-parallel fleet windows.
+
+Exactness contracts of the fleet-scale window levers:
+
+- sparse window results are bit-identical to the dense representation, for
+  both traffic modes and across mid-run resizes;
+- zero-arrival functions never reach the execution engine (no group request
+  is built for them);
+- fused and looped execution agree under the same traffic mode;
+- controller decisions and ledger accounts are independent of the window
+  shard count;
+- cohort deduplication keeps representatives bit-exact and fleet totals
+  statistically close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import SizelessPredictor
+from repro.errors import ConfigurationError
+from repro.fleet import (
+    ControllerConfig,
+    FleetConfig,
+    FleetRightsizingService,
+    FleetSimulator,
+    FleetWindow,
+    SparseFleetWindow,
+)
+from repro.simulation.engine import get_backend
+from repro.workloads.generator import GeneratorConfig, SyntheticFunctionGenerator
+from repro.workloads.traffic import (
+    BurstyTraffic,
+    ConstantTraffic,
+    DiurnalTraffic,
+    RampTraffic,
+    TraceTraffic,
+)
+
+WINDOW_S = 1800.0
+
+
+def _mixed_fleet(n_functions: int, seed: int = 31):
+    """A small fleet exercising every traffic model class, some idle."""
+    functions = SyntheticFunctionGenerator(
+        config=GeneratorConfig(seed=seed, name_prefix="sparse")
+    ).generate(n_functions)
+    rng = np.random.default_rng(seed + 1)
+    traffic = []
+    for i in range(n_functions):
+        kind = i % 6
+        if kind == 0:
+            traffic.append(ConstantTraffic(rate_rps=float(rng.uniform(0.01, 0.05))))
+        elif kind == 1:
+            traffic.append(
+                DiurnalTraffic(
+                    mean_rate_rps=float(rng.uniform(0.01, 0.04)),
+                    amplitude=float(rng.uniform(0.4, 0.8)),
+                    phase_s=float(rng.uniform(0.0, 86_400.0)),
+                )
+            )
+        elif kind == 2:
+            traffic.append(
+                RampTraffic(
+                    start_rate_rps=0.005,
+                    end_rate_rps=float(rng.uniform(0.02, 0.05)),
+                    ramp_start_s=0.0,
+                    ramp_duration_s=3 * WINDOW_S,
+                )
+            )
+        elif kind == 3:
+            traffic.append(
+                BurstyTraffic(
+                    base_rate_rps=float(rng.uniform(0.005, 0.02)),
+                    burst_rate_rps=float(rng.uniform(0.1, 0.3)),
+                    burst_every_s=WINDOW_S,
+                    burst_duration_s=120.0,
+                )
+            )
+        elif kind == 4:
+            # Replays inside the first two windows, then goes silent.
+            stamps = tuple(np.sort(rng.uniform(0.0, 2 * WINDOW_S, size=20)))
+            traffic.append(TraceTraffic(timestamps_s=stamps))
+        else:
+            # Idle forever within the simulated horizon.
+            traffic.append(TraceTraffic(timestamps_s=(1e9,)))
+    return functions, traffic
+
+
+def _as_dense(window):
+    return window.to_dense() if isinstance(window, SparseFleetWindow) else window
+
+
+def _run_windows(functions, traffic, config, n_windows=4, resizes=()):
+    """Run windows, applying ``{window_index: [(function, size)]}`` resizes."""
+    simulator = FleetSimulator(functions, traffic, config=config)
+    resizes = dict(resizes)
+    windows = []
+    for index in range(n_windows):
+        windows.append(simulator.run_window())
+        for function_index, size in resizes.get(index, ()):
+            simulator.resize(function_index, size)
+    return simulator, windows
+
+
+def _assert_windows_equal(a: FleetWindow, b: FleetWindow) -> None:
+    assert np.array_equal(a.memory_mb, b.memory_mb)
+    assert np.array_equal(a.stats, b.stats)
+    assert np.array_equal(a.n_invocations, b.n_invocations)
+    assert np.array_equal(a.n_arrivals, b.n_arrivals)
+    assert np.array_equal(a.n_cold_starts, b.n_cold_starts)
+    assert np.array_equal(a.cost_usd, b.cost_usd)
+
+
+class TestSparseDenseParity:
+    RESIZES = {1: [(0, 512), (3, 1024)], 2: [(0, 256)]}
+
+    @pytest.mark.parametrize("traffic_mode", ["fused", "per-function"])
+    def test_sparse_windows_bit_identical_to_dense(self, traffic_mode):
+        functions, traffic = _mixed_fleet(18)
+        dense_cfg = FleetConfig(window_s=WINDOW_S, seed=9, traffic_mode=traffic_mode)
+        sparse_cfg = replace(dense_cfg, sparse=True)
+        _, dense = _run_windows(functions, traffic, dense_cfg, resizes=self.RESIZES)
+        _, sparse = _run_windows(functions, traffic, sparse_cfg, resizes=self.RESIZES)
+        assert all(isinstance(w, FleetWindow) for w in dense)
+        assert all(isinstance(w, SparseFleetWindow) for w in sparse)
+        for dense_window, sparse_window in zip(dense, sparse):
+            _assert_windows_equal(dense_window, sparse_window.to_dense())
+
+    def test_sparse_window_shape_contract(self):
+        functions, traffic = _mixed_fleet(18)
+        _, windows = _run_windows(
+            functions, traffic, FleetConfig(window_s=WINDOW_S, seed=9, sparse=True)
+        )
+        window = windows[0]
+        assert window.n_functions == 18
+        assert window.n_active == window.active.shape[0]
+        assert 0 < window.n_active < 18  # the idle trace functions stay out
+        assert np.array_equal(window.active, np.sort(window.active))
+        assert window.stats.shape == (window.n_active,) + windows[0].stats.shape[1:]
+        assert np.all(window.n_arrivals > 0)
+        assert window.mean_execution_time_ms().shape == (window.n_active,)
+        assert window.total_invocations == window.to_dense().total_invocations
+        assert window.total_cost_usd == pytest.approx(
+            window.to_dense().total_cost_usd
+        )
+
+    def test_sparse_totals_match_dense_closely(self):
+        functions, traffic = _mixed_fleet(18)
+        _, dense = _run_windows(functions, traffic, FleetConfig(window_s=WINDOW_S, seed=9))
+        _, sparse = _run_windows(
+            functions, traffic, FleetConfig(window_s=WINDOW_S, seed=9, sparse=True)
+        )
+        for dw, sw in zip(dense, sparse):
+            assert sw.total_invocations == dw.total_invocations
+            # Summation order differs (k active terms vs n zero-padded terms).
+            assert sw.total_cost_usd == pytest.approx(dw.total_cost_usd, rel=1e-12)
+
+
+class TestZeroArrivalFunctionsSkipEngine:
+    def test_no_group_emitted_for_idle_functions(self, monkeypatch):
+        functions, traffic = _mixed_fleet(18)
+        simulator = FleetSimulator(
+            functions, traffic, config=FleetConfig(window_s=WINDOW_S, seed=9)
+        )
+        seen: list[list[str]] = []
+        original = type(simulator.backend).run_grouped
+
+        def spy(backend_self, platform, requests):
+            seen.append([request.function_name for request in requests])
+            return original(backend_self, platform, requests)
+
+        monkeypatch.setattr(type(simulator.backend), "run_grouped", spy)
+        window = simulator.run_window()
+        active_names = {functions[int(i)].name for i in np.flatnonzero(window.n_arrivals)}
+        assert len(seen) == 1
+        assert set(seen[0]) == active_names
+        assert len(seen[0]) < 18
+        # Idle functions produced exact zero rows without touching the engine.
+        idle = np.flatnonzero(window.n_arrivals == 0)
+        assert idle.size > 0
+        assert np.all(window.stats[idle] == 0.0)
+        assert np.all(window.cost_usd[idle] == 0.0)
+
+    def test_fully_idle_window_never_calls_engine(self, monkeypatch):
+        functions, _ = _mixed_fleet(6)
+        traffic = [TraceTraffic(timestamps_s=(1e9,)) for _ in range(6)]
+        simulator = FleetSimulator(
+            functions, traffic, config=FleetConfig(window_s=WINDOW_S, seed=9)
+        )
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("engine invoked for an all-idle window")
+
+        monkeypatch.setattr(type(simulator.backend), "run_grouped", boom)
+        window = simulator.run_window()
+        assert window.total_invocations == 0
+        assert np.all(window.stats == 0.0)
+        sparse_sim = FleetSimulator(
+            functions, traffic, config=FleetConfig(window_s=WINDOW_S, seed=9, sparse=True)
+        )
+        monkeypatch.setattr(type(sparse_sim.backend), "run_grouped", boom)
+        assert sparse_sim.run_window().n_active == 0
+
+
+class TestExecutionPathParity:
+    def test_fused_equals_looped_under_fused_traffic(self):
+        functions, traffic = _mixed_fleet(18)
+        _, fused = _run_windows(functions, traffic, FleetConfig(window_s=WINDOW_S, seed=9))
+        _, looped = _run_windows(
+            functions, traffic, FleetConfig(window_s=WINDOW_S, seed=9, fused=False)
+        )
+        for fw, lw in zip(fused, looped):
+            assert np.array_equal(fw.stats, lw.stats)
+            assert np.array_equal(fw.n_invocations, lw.n_invocations)
+            assert np.array_equal(fw.n_arrivals, lw.n_arrivals)
+            assert np.array_equal(fw.n_cold_starts, lw.n_cold_starts)
+            # Per-group cost sums in segment order, the per-function batch in
+            # pairwise order — equal up to summation order, as in the seed.
+            np.testing.assert_allclose(fw.cost_usd, lw.cost_usd, rtol=1e-12)
+
+    def test_sharded_execution_bit_identical(self):
+        functions, traffic = _mixed_fleet(18)
+        _, reference = _run_windows(
+            functions, traffic, FleetConfig(window_s=WINDOW_S, seed=9)
+        )
+        for shard_size in (1, 3, 7, 100):
+            _, sharded = _run_windows(
+                functions,
+                traffic,
+                FleetConfig(window_s=WINDOW_S, seed=9, window_shard_size=shard_size),
+            )
+            for rw, sw in zip(reference, sharded):
+                _assert_windows_equal(rw, sw)
+
+    def test_parallel_run_stat_shards_matches_sequential(self):
+        import warnings
+
+        functions, traffic = _mixed_fleet(12)
+        results = {}
+        for backend_name, n_workers in (("vectorized", None), ("parallel", 2)):
+            config = FleetConfig(
+                window_s=WINDOW_S,
+                seed=9,
+                backend=backend_name,
+                n_workers=n_workers,
+                window_shard_size=3,
+            )
+            with warnings.catch_warnings():
+                # A broken worker pool degrades to in-process execution with
+                # a RuntimeWarning; parity must hold either way.
+                warnings.simplefilter("ignore", RuntimeWarning)
+                _, windows = _run_windows(functions, traffic, config, n_windows=2)
+            results[backend_name] = windows
+        for vw, pw in zip(results["vectorized"], results["parallel"]):
+            _assert_windows_equal(vw, pw)
+
+
+class TestShardCountIndependentControl:
+    def _run_service(self, shard_size, sparse=False):
+        functions, traffic = _mixed_fleet(16, seed=43)
+        simulator = FleetSimulator(
+            functions,
+            traffic,
+            FleetConfig(
+                window_s=7200.0, seed=11, window_shard_size=shard_size, sparse=sparse
+            ),
+        )
+        service = FleetRightsizingService(
+            simulator,
+            SizelessPredictor(self.trained_model),
+            controller_config=ControllerConfig(min_windows=2, min_invocations=30),
+        )
+        return service.run(6)
+
+    def test_decisions_independent_of_shard_count(self, trained_model):
+        self.trained_model = trained_model
+        reference = self._run_service(None)
+        for shard_size, sparse in ((1, False), (3, False), (3, True)):
+            report = self._run_service(shard_size, sparse=sparse)
+            assert report.events == reference.events
+            assert np.array_equal(report.final_memory_mb, reference.final_memory_mb)
+            for ra, sa in zip(reference.ledger.windows, report.ledger.windows):
+                assert sa.invocations == ra.invocations
+                assert sa.resizes == ra.resizes
+                assert sa.rollbacks == ra.rollbacks
+                assert sa.functions_resized == ra.functions_resized
+                assert sa.actual_cost_usd == pytest.approx(
+                    ra.actual_cost_usd, rel=1e-12
+                )
+                assert sa.baseline_cost_usd == pytest.approx(
+                    ra.baseline_cost_usd, rel=1e-12
+                )
+                assert sa.actual_time_weighted_ms == pytest.approx(
+                    ra.actual_time_weighted_ms, rel=1e-12
+                )
+                assert sa.baseline_time_weighted_ms == pytest.approx(
+                    ra.baseline_time_weighted_ms, rel=1e-12
+                )
+
+
+class TestCohortDeduplication:
+    def _replicated_fleet(self, n_functions: int, n_bases: int = 3):
+        """A fleet of a few profiles replicated many times at similar rates."""
+        bases = SyntheticFunctionGenerator(
+            config=GeneratorConfig(seed=51, name_prefix="cohort")
+        ).generate(n_bases)
+        functions = [
+            replace(bases[i % n_bases], name=f"cohort-{i}") for i in range(n_functions)
+        ]
+        rng = np.random.default_rng(52)
+        traffic = [
+            DiurnalTraffic(
+                mean_rate_rps=float(rng.uniform(0.02, 0.03)),
+                amplitude=0.5,
+                phase_s=1000.0,
+            )
+            for _ in range(n_functions)
+        ]
+        return functions, traffic
+
+    def test_cohort_off_is_the_exact_path(self):
+        functions, traffic = self._replicated_fleet(12)
+        _, exact = _run_windows(functions, traffic, FleetConfig(window_s=WINDOW_S, seed=9))
+        _, off = _run_windows(
+            functions, traffic, FleetConfig(window_s=WINDOW_S, seed=9, cohort_mode="off")
+        )
+        for ew, ow in zip(exact, off):
+            _assert_windows_equal(ew, ow)
+
+    def test_representatives_bit_exact_members_scaled(self):
+        functions, traffic = self._replicated_fleet(12)
+        exact_sim = FleetSimulator(
+            functions, traffic, FleetConfig(window_s=WINDOW_S, seed=9)
+        )
+        cohort_sim = FleetSimulator(
+            functions,
+            traffic,
+            FleetConfig(window_s=WINDOW_S, seed=9, cohort_mode="statistical"),
+        )
+        exact = exact_sim.run_window()
+        cohort = cohort_sim.run_window()
+        # With 3 profiles at one size and one rate bucket there are at most 3
+        # executed representatives; their rows must be bit-exact.
+        reps = [int(np.flatnonzero(exact.n_arrivals)[0])]
+        distinct_rows = {
+            tuple(np.round(cohort.stats[i].ravel(), 12)) for i in range(12)
+        }
+        assert len(distinct_rows) <= 3
+        for i in reps:
+            assert np.array_equal(cohort.stats[i], exact.stats[i])
+            assert cohort.n_invocations[i] == exact.n_invocations[i]
+            assert cohort.cost_usd[i] == exact.cost_usd[i]
+        # Members carry their own arrival counts and scaled statistics.
+        assert np.array_equal(cohort.n_arrivals, exact.n_arrivals)
+        assert cohort.total_invocations == pytest.approx(
+            exact.total_invocations, rel=0.2
+        )
+        assert cohort.total_cost_usd == pytest.approx(exact.total_cost_usd, rel=0.2)
+        # Platform billing stays consistent with the window columns.
+        assert cohort_sim.platform.total_cost_usd() == pytest.approx(
+            cohort.total_cost_usd, rel=1e-9
+        )
+
+    def test_distinct_profiles_never_cohorted(self):
+        functions, traffic = _mixed_fleet(12)
+        _, exact = _run_windows(functions, traffic, FleetConfig(window_s=WINDOW_S, seed=9))
+        _, cohort = _run_windows(
+            functions,
+            traffic,
+            FleetConfig(window_s=WINDOW_S, seed=9, cohort_mode="statistical"),
+        )
+        # Every function has a distinct profile object, so every cohort is a
+        # singleton and the statistical mode degenerates to the exact path.
+        for ew, cw in zip(exact, cohort):
+            _assert_windows_equal(ew, cw)
+
+
+class TestConfigValidation:
+    def test_new_knobs_validated(self):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(traffic_mode="magic")
+        with pytest.raises(ConfigurationError):
+            FleetConfig(cohort_mode="always")
+        with pytest.raises(ConfigurationError):
+            FleetConfig(cohort_rate_buckets_per_decade=0)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(window_shard_size=0)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(rate_resolution=0)
+
+    def test_run_stat_shards_validates_shard_size(self, cpu_function):
+        simulator = FleetSimulator(
+            [cpu_function], [ConstantTraffic(0.05)], FleetConfig(seed=4)
+        )
+        backend = get_backend("vectorized")
+        with pytest.raises(ConfigurationError):
+            backend.run_stat_shards(simulator.platform, [], 0)

@@ -10,8 +10,12 @@ from repro.workloads.traffic import (
     BurstyTraffic,
     ConstantTraffic,
     DiurnalTraffic,
+    FleetArrivals,
+    FleetTrafficSchedule,
     RampTraffic,
     TraceTraffic,
+    fleet_mean_rates,
+    fleet_rate_matrix,
     sample_fleet_traffic,
 )
 
@@ -179,6 +183,118 @@ class TestFleetSampling:
             sample_fleet_traffic(3, mean_rate_range=(0.5, 0.1))
         with pytest.raises(ConfigurationError):
             sample_fleet_traffic(3, mean_rate_range=(0.0, 0.1))
+
+
+def _one_of_each_model():
+    """One instance of every traffic model class, batched and fallback."""
+    return [
+        ConstantTraffic(rate_rps=0.031),
+        DiurnalTraffic(mean_rate_rps=0.02, amplitude=0.6, phase_s=4_000.0),
+        RampTraffic(
+            start_rate_rps=0.004,
+            end_rate_rps=0.05,
+            ramp_start_s=600.0,
+            ramp_duration_s=5_000.0,
+        ),
+        BurstyTraffic(base_rate_rps=0.01, burst_rate_rps=0.2),
+        TraceTraffic(timestamps_s=(100.0, 250.0, 2_500.0)),
+    ]
+
+
+class TestFleetRateMatrix:
+    def test_rows_bit_identical_to_per_model_rate(self):
+        models = _one_of_each_model() + [
+            ConstantTraffic(rate_rps=0.8),
+            DiurnalTraffic(mean_rate_rps=0.1, amplitude=0.2, phase_s=0.0),
+        ]
+        start_s, end_s, resolution = 500.0, 4_100.0, 48
+        matrix = fleet_rate_matrix(models, start_s, end_s, resolution=resolution)
+        assert matrix.shape == (len(models), resolution)
+        assert matrix.dtype == np.float64
+        step = (end_s - start_s) / resolution
+        midpoints = start_s + step * (np.arange(resolution) + 0.5)
+        for row, model in zip(matrix, models):
+            assert np.array_equal(row, model.rate(midpoints))
+
+    def test_mean_rates_bit_identical_to_mean_rate(self):
+        models = _one_of_each_model()
+        means = fleet_mean_rates(models, 0.0, 7_200.0)
+        for value, model in zip(means, models):
+            assert value == model.mean_rate(0.0, 7_200.0)
+
+    def test_resolution_validated(self):
+        with pytest.raises(ConfigurationError):
+            fleet_rate_matrix([ConstantTraffic(1.0)], 0.0, 10.0, resolution=0)
+
+
+class TestFleetTrafficSchedule:
+    WINDOW = (1_000.0, 4_600.0)
+
+    def test_sample_window_deterministic_sorted_and_bounded(self):
+        models = _one_of_each_model()
+        schedule = FleetTrafficSchedule(models)
+        start_s, end_s = self.WINDOW
+        samples = [
+            schedule.sample_window(start_s, end_s, np.random.default_rng(5))
+            for _ in range(2)
+        ]
+        assert np.array_equal(samples[0].times_s, samples[1].times_s)
+        assert np.array_equal(samples[0].offsets, samples[1].offsets)
+        arrivals = samples[0]
+        assert arrivals.n_functions == len(models)
+        assert arrivals.offsets[0] == 0
+        assert arrivals.offsets[-1] == arrivals.total
+        for i in range(len(models)):
+            times = arrivals.arrivals_of(i)
+            assert np.all(np.diff(times) >= 0)
+            if times.size:
+                assert times[0] >= start_s and times[-1] < end_s
+
+    def test_trace_models_splice_exactly(self):
+        trace = TraceTraffic(timestamps_s=(100.0, 250.0, 2_500.0))
+        models = [ConstantTraffic(0.05), trace, ConstantTraffic(0.05)]
+        schedule = FleetTrafficSchedule(models)
+        arrivals = schedule.sample_window(0.0, 3_600.0, np.random.default_rng(6))
+        assert np.array_equal(
+            arrivals.arrivals_of(1), trace.arrivals(0.0, 3_600.0, None)
+        )
+
+    def test_per_function_cap_applies(self):
+        models = [ConstantTraffic(1.0), TraceTraffic(timestamps_s=tuple(range(50)))]
+        schedule = FleetTrafficSchedule(models)
+        arrivals = schedule.sample_window(
+            0.0, 600.0, np.random.default_rng(7), max_per_function=25
+        )
+        assert np.array_equal(arrivals.counts(), [25, 25])
+        assert np.array_equal(arrivals.active(), [0, 1])
+
+    def test_rates_statistically_faithful(self):
+        models = [
+            ConstantTraffic(0.5),
+            DiurnalTraffic(mean_rate_rps=0.4, amplitude=0.5, phase_s=0.0),
+        ]
+        schedule = FleetTrafficSchedule(models)
+        totals = np.zeros(2)
+        n_rounds = 40
+        for round_index in range(n_rounds):
+            arrivals = schedule.sample_window(
+                0.0, 3_600.0, np.random.default_rng(100 + round_index)
+            )
+            totals += arrivals.counts()
+        expected = fleet_mean_rates(models, 0.0, 3_600.0) * 3_600.0
+        np.testing.assert_allclose(totals / n_rounds, expected, rtol=0.05)
+
+    def test_from_arrays_round_trips(self):
+        per_function = [
+            np.array([1.0, 2.0, 3.0]),
+            np.array([]),
+            np.array([0.5]),
+        ]
+        arrivals = FleetArrivals.from_arrays(0.0, 10.0, per_function)
+        assert np.array_equal(arrivals.counts(), [3, 0, 1])
+        assert np.array_equal(arrivals.active(), [0, 2])
+        for i, expected in enumerate(per_function):
+            assert np.array_equal(arrivals.arrivals_of(i), expected)
 
 
 class TestWorkloadValidation:

@@ -6,7 +6,11 @@ documented in ``docs/PERFORMANCE.md``) so successive PRs can track the
 throughput and peak-memory trajectory of the two hot paths:
 
 - **fleet** — fused cross-function window execution vs the per-function-batch
-  path (windows/s, invocations/s, tracemalloc peak bytes);
+  path (windows/s, invocations/s, tracemalloc peak bytes), plus the
+  fleet-scale ``sparse`` section (sparse / cohort / sharded window variants
+  vs the dense O(fleet) reference on a mostly-idle fleet) and the
+  ``fleet_scale`` endurance run (one million functions through 24 virtual
+  hours at ``--scale full``);
 - **generation** — training-dataset generation per execution-backend variant
   (invocations/s, tracemalloc peak bytes).
 
@@ -21,9 +25,10 @@ Usage::
     PYTHONPATH=src python tools/bench_report.py [--out DIR] [--scale quick|full]
                                                 [--only fleet|generation]
 
-The ``quick`` scale (default) finishes in well under a minute and is meant
-for CI trend lines; ``full`` runs the acceptance-criterion scale (500 fleet
-functions, the 200-function default dataset).
+The ``quick`` scale (default) finishes in a few minutes and is meant for CI
+trend lines; ``full`` runs the acceptance-criterion scale (500 fleet
+functions, 100 000 functions in the sparse scenario, one million in the
+fleet-scale endurance run, the 200-function default dataset).
 """
 
 from __future__ import annotations
@@ -47,12 +52,22 @@ _BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
 SCALES = {
     "quick": {
         "REPRO_BENCH_FLEET_SPEEDUP_FUNCTIONS": "120",
+        "REPRO_BENCH_FLEET_SPARSE_FUNCTIONS": "5000",
         "REPRO_BENCH_GEN_FUNCTIONS": "60",
     },
     "full": {
         "REPRO_BENCH_FLEET_SPEEDUP_FUNCTIONS": "500",
+        "REPRO_BENCH_FLEET_SPARSE_FUNCTIONS": "100000",
         "REPRO_BENCH_GEN_FUNCTIONS": "200",
     },
+}
+
+#: The fleet-scale endurance scenario per --scale: (n_functions, n_windows).
+#: ``full`` is the acceptance run — one million functions through 24 virtual
+#: hours of diurnal traffic; ``quick`` shrinks it for CI trend lines.
+FLEET_SCALE = {
+    "quick": (50_000, 6),
+    "full": (1_000_000, 24),
 }
 
 
@@ -110,6 +125,122 @@ def bench_fleet() -> dict:
         "speedup": round(
             results["looped"]["seconds"] / results["fused"]["seconds"], 2
         ),
+        "sparse": bench_fleet_sparse(bench),
+    }
+
+
+def bench_fleet_sparse(bench) -> dict:
+    """Sparse / cohort / sharded fleet window variants vs the dense reference.
+
+    The mostly-idle fleet-scale scenario (``_sparse_scenario``, ~1 % active
+    per window).  ``dense`` is the pre-sparse O(fleet) window body; the
+    three lever variants all run through ``FleetSimulator.run_window``.
+    Sparse and sharded must agree bit for bit (asserted); cohort is the
+    explicitly statistical mode.
+    """
+    functions, traffic = bench._sparse_scenario()
+    variants = {
+        "sparse": {},
+        "cohort": {"cohort_mode": "statistical"},
+        "sharded": {"window_shard_size": 256},
+    }
+    results = {}
+    (seconds, invocations, _), wall_seconds, peak = _traced(
+        lambda: bench.execute_dense_reference_windows(functions, traffic)
+    )
+    results["dense"] = {
+        "windows_per_second": round(bench.SPARSE_WINDOWS / seconds, 3),
+        "seconds": round(seconds, 4),
+        "wall_seconds": round(wall_seconds, 4),
+        "invocations": invocations,
+        "peak_bytes": int(peak),
+    }
+    reference = None
+    for label, knobs in variants.items():
+        (seconds, invocations, windows), wall_seconds, peak = _traced(
+            lambda knobs=knobs: bench.execute_sparse_windows(
+                functions, traffic, **knobs
+            )
+        )
+        stacked = np.concatenate([w.stats.ravel() for w in windows])
+        if label == "sparse":
+            reference = stacked
+        elif label == "sharded" and not np.array_equal(reference, stacked):
+            raise AssertionError("sharded window stats diverged from sparse")
+        results[label] = {
+            "windows_per_second": round(bench.SPARSE_WINDOWS / seconds, 3),
+            "seconds": round(seconds, 4),
+            "wall_seconds": round(wall_seconds, 4),
+            "invocations": invocations,
+            "active_per_window": int(np.mean([w.n_active for w in windows])),
+            "peak_bytes": int(peak),
+        }
+    return {
+        "config": {
+            "n_functions": bench.SPARSE_FUNCTIONS,
+            "n_windows": bench.SPARSE_WINDOWS,
+            "window_s": bench.WINDOW_S,
+            "mean_rate_range_rps": list(bench.SPARSE_RATE_RANGE),
+        },
+        "results": results,
+        "speedup": round(
+            results["dense"]["seconds"] / results["sparse"]["seconds"], 2
+        ),
+    }
+
+
+def bench_fleet_scale(scale: str) -> dict:
+    """The fleet-scale endurance run: a mostly-idle fleet through 24 windows.
+
+    At ``--scale full`` this is the acceptance criterion — one million
+    functions under diurnal traffic completing 24 virtual hours of sparse
+    windows — recorded here so successive PRs track its wall clock and peak
+    window memory.  Setup (spec replication, eager deployment) is reported
+    separately from the windowed phase.
+    """
+    bench = _load_benchmark("test_bench_fleet")
+    from repro.fleet import FleetConfig, FleetSimulator
+
+    n_functions, n_windows = FLEET_SCALE[scale]
+    setup_start = time.perf_counter()
+    functions, traffic = bench._sparse_scenario(n_functions)
+    simulator = FleetSimulator(
+        functions,
+        traffic,
+        FleetConfig(window_s=bench.WINDOW_S, seed=99, sparse=True),
+    )
+    setup_seconds = time.perf_counter() - setup_start
+
+    tracemalloc.start()
+    start = time.perf_counter()
+    invocations = 0
+    active = 0
+    for _ in range(n_windows):
+        window = simulator.run_window()
+        invocations += int(np.sum(window.n_arrivals))
+        active += window.n_active
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    return {
+        "config": {
+            "n_functions": n_functions,
+            "n_windows": n_windows,
+            "window_s": bench.WINDOW_S,
+            "virtual_hours": n_windows * bench.WINDOW_S / 3600.0,
+            "mean_rate_range_rps": list(bench.SPARSE_RATE_RANGE),
+        },
+        "results": {
+            "sparse": {
+                "windows_per_second": round(n_windows / seconds, 3),
+                "seconds": round(seconds, 4),
+                "setup_seconds": round(setup_seconds, 4),
+                "invocations": invocations,
+                "active_per_window": active // n_windows,
+                "peak_bytes": int(peak),
+            }
+        },
     }
 
 
@@ -171,13 +302,21 @@ def main(argv=None) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
 
     if args.only in (None, "fleet"):
-        report = _report("fleet", args.scale, bench_fleet())
+        payload = bench_fleet()
+        payload["fleet_scale"] = bench_fleet_scale(args.scale)
+        report = _report("fleet", args.scale, payload)
         path = out_dir / "BENCH_fleet.json"
         path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        scale_row = report["fleet_scale"]["results"]["sparse"]
         print(
             f"{path}: fused {report['results']['fused']['ops_per_second']:,.0f} inv/s, "
             f"looped {report['results']['looped']['ops_per_second']:,.0f} inv/s "
-            f"({report['speedup']}x)"
+            f"({report['speedup']}x); sparse {report['sparse']['speedup']}x over "
+            f"dense at {report['sparse']['config']['n_functions']:,} functions; "
+            f"fleet-scale {report['fleet_scale']['config']['n_functions']:,} "
+            f"functions x {report['fleet_scale']['config']['n_windows']} windows "
+            f"in {scale_row['seconds']:.1f} s "
+            f"(peak {scale_row['peak_bytes'] / 1e6:.1f} MB)"
         )
     if args.only in (None, "generation"):
         report = _report("generation", args.scale, bench_generation())
