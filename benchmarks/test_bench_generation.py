@@ -37,6 +37,7 @@ _VARIANTS = {
     "vectorized": dict(backend="vectorized", fused=True),
     "vectorized-looped": dict(backend="vectorized", fused=False),
     "parallel": dict(backend="parallel", fused=True),
+    "compiled": dict(backend="compiled", fused=True),
 }
 
 
@@ -82,6 +83,11 @@ def test_bench_generation_vectorized_looped(benchmark):
 def test_bench_generation_parallel(benchmark):
     """Fused chunks fanned out over worker processes."""
     _bench(benchmark, "parallel")
+
+
+def test_bench_generation_compiled(benchmark):
+    """Kernelized backend: cross-group instance walk + fused metric kernel."""
+    _bench(benchmark, "compiled")
 
 
 def test_vectorized_speedup_over_serial():

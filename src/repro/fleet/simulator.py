@@ -167,6 +167,19 @@ class FleetConfig:
         Midpoint samples per window for the batched rate-matrix evaluations
         (cohort rate bucketing); see
         :func:`~repro.workloads.traffic.fleet_rate_matrix`.
+    dtype:
+        Compute dtype of the grouped execution hot path: ``"float64"``
+        (default; bit-exact parity across backends) or ``"float32"``
+        (~2x memory bandwidth, statistical parity; requires a backend with
+        ``supports_float32``, currently ``"compiled"``).
+    noise:
+        Noise-draw mode: ``"per-group"`` (default; every (function, window)
+        pair draws from its own spawned stream, bit-exact across backends
+        and scheduling orders) or ``"pooled"`` (all active functions of a
+        window draw from one shared window stream — removes the per-group
+        draw loop and the per-function stream spawns; statistical parity;
+        requires ``fused=True``, no window sharding and a backend with
+        ``supports_pooled_noise``, currently ``"compiled"``).
     """
 
     window_s: float = 3600.0
@@ -185,6 +198,8 @@ class FleetConfig:
     cohort_rate_buckets_per_decade: int = 2
     window_shard_size: int | None = None
     rate_resolution: int = 64
+    dtype: str = "float64"
+    noise: str = "per-group"
 
     def __post_init__(self) -> None:
         """Validate window geometry, sizes, backend and scaling knobs."""
@@ -216,6 +231,20 @@ class FleetConfig:
             raise ConfigurationError("window_shard_size must be at least 1 when given")
         if self.rate_resolution < 1:
             raise ConfigurationError("rate_resolution must be at least 1")
+        if self.dtype not in ("float64", "float32"):
+            raise ConfigurationError(
+                f"dtype must be 'float64' or 'float32', got {self.dtype!r}"
+            )
+        if self.noise not in ("per-group", "pooled"):
+            raise ConfigurationError(
+                f"noise must be 'per-group' or 'pooled', got {self.noise!r}"
+            )
+        if self.noise == "pooled" and not self.fused:
+            raise ConfigurationError("noise='pooled' requires fused=True")
+        if self.noise == "pooled" and self.window_shard_size is not None:
+            raise ConfigurationError(
+                "noise='pooled' cannot be combined with window_shard_size"
+            )
 
 
 @dataclass(frozen=True)
@@ -420,7 +449,10 @@ class FleetSimulator:
             )
         self.platform = platform
         self.backend: ExecutionBackend = get_backend(
-            self.config.backend, n_workers=self.config.n_workers
+            self.config.backend,
+            n_workers=self.config.n_workers,
+            dtype=self.config.dtype,
+            noise=self.config.noise,
         )
         self._clock_s = 0.0
         self._window_index = 0
@@ -526,9 +558,16 @@ class FleetSimulator:
         indexing is identical to spawning each child individually — the
         batched spawn amortizes better when most of the fleet is active,
         the individual spawn keeps sparse windows O(active).
+
+        In the pooled-noise mode every group shares one window-scoped
+        stream (keyed by window only, no per-function children), so the
+        spawn cost is O(1) regardless of how many functions are active.
         """
         n = self.n_functions
         seed = self.platform.config.seed
+        if self.config.noise == "pooled":
+            shared = child_rng(seed, STREAM_EXECUTION, self._window_index)
+            return [shared] * indices.shape[0]
         if indices.shape[0] * 4 >= n:
             rngs = spawn_child_rngs(seed, STREAM_EXECUTION, self._window_index, n=n)
             return [rngs[int(i)] for i in indices]

@@ -72,9 +72,19 @@ class ColdStartModel:
             + self.code_load_ms_per_mb * (code_size_kb / 1024.0) / effective_share
         )
         if rng is not None and self.noise_cv > 0:
-            sigma = float(np.sqrt(np.log(1.0 + self.noise_cv**2)))
-            duration *= float(rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
+            mu, sigma = self.noise_params()
+            duration *= float(rng.lognormal(mean=mu, sigma=sigma))
         return float(duration)
+
+    def noise_params(self) -> tuple[float, float]:
+        """``(mu, sigma)`` of the unit-mean log-normal cold-start noise.
+
+        Single source of the parameterization, so callers that hoist the
+        parameters out of per-group loops (the compiled execution backend)
+        draw bit-identically to :meth:`noise_factors`.
+        """
+        sigma = float(np.sqrt(np.log(1.0 + self.noise_cv**2)))
+        return -0.5 * sigma * sigma, sigma
 
     def noise_factors(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Batch of unit-mean multiplicative noise factors for ``n`` cold starts.
@@ -84,8 +94,8 @@ class ColdStartModel:
         """
         if self.noise_cv <= 0:
             return np.ones(n)
-        sigma = float(np.sqrt(np.log(1.0 + self.noise_cv**2)))
-        return rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma, size=n)
+        mu, sigma = self.noise_params()
+        return rng.lognormal(mean=mu, sigma=sigma, size=n)
 
     def is_expired(self, idle_time_s: float) -> bool:
         """Whether a warm instance idle for ``idle_time_s`` has been reclaimed."""

@@ -14,6 +14,7 @@ from repro.simulation.engine.base import (
     get_backend,
     register_backend,
 )
+from repro.simulation.engine.compiled import CompiledBackend
 from repro.simulation.engine.grouped import GroupedBatch, GroupRequest, run_grouped
 from repro.simulation.engine.parallel import ParallelBackend
 from repro.simulation.engine.serial import SerialBackend
@@ -21,6 +22,7 @@ from repro.simulation.engine.vectorized import VectorizedBackend
 
 __all__ = [
     "BatchResult",
+    "CompiledBackend",
     "ExecutionBackend",
     "GroupRequest",
     "GroupedBatch",

@@ -12,11 +12,15 @@ infeasible, so the platform delegates batch execution to a pluggable
   whole arrival batch in numpy, one noise draw batch per (function, size);
 - :class:`~repro.simulation.engine.parallel.ParallelBackend` — fans whole
   functions out over ``concurrent.futures`` workers, each running the
-  vectorized backend.
+  vectorized backend;
+- :class:`~repro.simulation.engine.compiled.CompiledBackend` — kernelized
+  grouped execution: one cross-group instance walk, gather-based
+  temporary-free metric evaluation, optional ``float32`` compute and pooled
+  noise modes, and optional numba JIT leaves.
 
 Backends are selected by name (a declarative config concern: harness, dataset
-generator and pipeline all expose a ``backend=`` knob) through
-:func:`get_backend`.
+generator, fleet simulator and pipeline all expose a ``backend=`` knob)
+through :func:`get_backend`.
 """
 
 from __future__ import annotations
@@ -210,10 +214,41 @@ class ExecutionBackend(abc.ABC):
     #: Registry name of the backend (used by the ``backend=`` config knobs).
     name: str = "abstract"
 
-    def __init__(self, n_workers: int | None = None) -> None:
+    #: Whether the backend implements the ``dtype="float32"`` compute mode.
+    supports_float32: bool = False
+
+    #: Whether the backend implements the ``noise="pooled"`` draw mode.
+    supports_pooled_noise: bool = False
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        dtype: str = "float64",
+        noise: str = "per-group",
+    ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ConfigurationError("n_workers must be at least 1 when given")
+        if dtype not in ("float64", "float32"):
+            raise ConfigurationError(
+                f"dtype must be 'float64' or 'float32', got {dtype!r}"
+            )
+        if noise not in ("per-group", "pooled"):
+            raise ConfigurationError(
+                f"noise must be 'per-group' or 'pooled', got {noise!r}"
+            )
+        if dtype == "float32" and not type(self).supports_float32:
+            raise ConfigurationError(
+                f"backend {type(self).name!r} does not support dtype='float32'"
+                " (use backend='compiled')"
+            )
+        if noise == "pooled" and not type(self).supports_pooled_noise:
+            raise ConfigurationError(
+                f"backend {type(self).name!r} does not support noise='pooled'"
+                " (use backend='compiled')"
+            )
         self.n_workers = n_workers
+        self.dtype = dtype
+        self.noise = noise
 
     @abc.abstractmethod
     def run_batch(
@@ -434,7 +469,10 @@ def available_backends() -> list[str]:
 
 
 def get_backend(
-    backend: str | ExecutionBackend, n_workers: int | None = None
+    backend: str | ExecutionBackend,
+    n_workers: int | None = None,
+    dtype: str = "float64",
+    noise: str = "per-group",
 ) -> ExecutionBackend:
     """Resolve a backend name (or pass an instance through).
 
@@ -442,10 +480,20 @@ def get_backend(
     ----------
     backend:
         Registered backend name (``"serial"``, ``"vectorized"``,
-        ``"parallel"``) or an already-constructed backend instance.
+        ``"parallel"``, ``"compiled"``) or an already-constructed backend
+        instance (returned as-is; the other arguments are then ignored).
     n_workers:
         Worker count forwarded to backends that parallelize (ignored by the
         single-threaded ones).
+    dtype:
+        Compute dtype of the grouped hot path, ``"float64"`` (default,
+        bit-exact parity) or ``"float32"`` (statistical parity, ~2× memory
+        bandwidth; compiled backend only).
+    noise:
+        Noise-draw mode, ``"per-group"`` (default: one independent stream
+        per group, bit-exact across backends and scheduling orders) or
+        ``"pooled"`` (one window stream for all groups; compiled backend
+        only, statistical parity).
     """
     if isinstance(backend, ExecutionBackend):
         return backend
@@ -455,4 +503,4 @@ def get_backend(
         raise ConfigurationError(
             f"unknown execution backend {backend!r}; available: {available_backends()}"
         ) from None
-    return cls(n_workers=n_workers)
+    return cls(n_workers=n_workers, dtype=dtype, noise=noise)

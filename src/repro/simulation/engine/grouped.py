@@ -301,11 +301,18 @@ def walk_group(
             cold_expired = cold_idle[i:j] > keep_alive
             # warm_expired is the answer when the previous invocation was
             # warm, cold_expired when it was cold (its completion includes
-            # the init).  Where the two disagree the answer flips with the
-            # previous cold flag — resolve those rare positions sequentially.
+            # the init).  Where the two disagree the answer depends on the
+            # previous cold flag — resolve those rare positions with the
+            # closed-form scan (bit-identical to the sequential recurrence).
             run_cold[1:] = warm_expired
-            for t in np.nonzero(warm_expired != cold_expired)[0]:
-                run_cold[t + 1] = cold_expired[t] if run_cold[t] else warm_expired[t]
+            disagree = warm_expired != cold_expired
+            if disagree.any():
+                abs_mask = np.empty(m, dtype=bool)
+                abs_mask[0] = True
+                abs_mask[1:] = ~disagree
+                flip = np.zeros(m, dtype=bool)
+                flip[1:] = disagree & warm_expired
+                run_cold[:] = solve_cold_recurrence(abs_mask, run_cold, flip)
             run_init = np.where(run_cold, init_worst_ms[i : j + 1], 0.0)
             segment = np.cumsum(run_cold)
             n_cold = int(segment[-1])
@@ -354,6 +361,37 @@ def walk_group(
             ids[i] = instance.instance_id
             i += 1
     return cold, init_out, ids
+
+
+def solve_cold_recurrence(
+    abs_mask: np.ndarray, abs_vals: np.ndarray, flip: np.ndarray
+) -> np.ndarray:
+    """Solve the cold-start recurrence ``x[i] = x[i-1] ^ flip[i]`` in one pass.
+
+    The hybrid walk classifies each arrival ``i`` as cold or warm.  Where the
+    warm-case and cold-case expiry tests agree (and at run heads), the value
+    is known *absolutely*: ``abs_mask[i]`` is true and ``x[i] =
+    abs_vals[i]``.  Where they disagree, the sequential rule ``x[i] =
+    cold_expired if x[i-1] else warm_expired`` reduces to an XOR with the
+    warm-case answer: ``x[i] = x[i-1] ^ warm_expired[i-1]`` (check both
+    disagreement cases).  That makes every position the XOR of its closest
+    absolute anchor at-or-before it with the parity of the flips between
+    them — a ``maximum.accumulate`` over anchor indices plus a flip-count
+    prefix sum, with no Python loop.
+
+    ``abs_mask[0]`` must be true (run heads are always absolute).  Positions
+    may span many concatenated groups at once: marking every group head
+    absolute confines anchors and flip parity to their own group, which is
+    how the compiled backend resolves all groups' chains in one call.
+
+    Returns the resolved boolean array (a new array; inputs are not
+    modified).
+    """
+    idx = np.arange(abs_mask.shape[0])
+    anchor = np.maximum.accumulate(np.where(abs_mask, idx, 0))
+    cum = np.cumsum(flip)
+    parity = ((cum - cum[anchor]) & 1).astype(bool)
+    return abs_vals[anchor] ^ parity
 
 
 _WORKER_INSTANCE_CLS = None
@@ -513,6 +551,16 @@ class GroupedBatch:
         return len(self.function_names)
 
     @property
+    def dtype(self) -> np.dtype:
+        """Compute dtype of the execution columns and metric arrays.
+
+        ``float64`` for every backend except the compiled backend in its
+        ``dtype="float32"`` mode, where the timing/metric hot path runs in
+        single precision (pool bookkeeping stays ``float64`` either way).
+        """
+        return self.execution_time_ms.dtype
+
+    @property
     def n_invocations(self) -> int:
         """Total number of invocations across all groups."""
         return int(self.timestamps_s.shape[0])
@@ -580,6 +628,32 @@ class GroupedBatch:
             cost_usd=self.cost_usd[a:b],
             billed_duration_ms=self.billed_duration_ms[a:b],
             metrics={name: values[a:b] for name, values in self.metrics.items()},
+        )
+
+
+def validate_group_timestamps(
+    timestamps: np.ndarray, offsets: np.ndarray, requests: list[GroupRequest]
+) -> None:
+    """One batched validation pass over all groups' concatenated arrivals.
+
+    Checks that timestamps are non-negative and non-decreasing inside every
+    group (decreases across group boundaries are fine).  Shared by the fused
+    executor here and the compiled backend.
+    """
+    if not timestamps.shape[0]:
+        return
+    decreasing = np.diff(timestamps) < 0
+    boundaries = offsets[1:-1] - 1
+    boundaries = boundaries[(boundaries >= 0) & (boundaries < decreasing.shape[0])]
+    decreasing[boundaries] = False
+    if np.any(timestamps < 0) or np.any(decreasing):
+        bad = np.nonzero(decreasing)[0]
+        g = int(np.searchsorted(offsets, bad[0], side="right") - 1) if bad.size else (
+            int(np.searchsorted(offsets, np.nonzero(timestamps < 0)[0][0], side="right") - 1)
+        )
+        raise SimulationError(
+            f"group {g} ({requests[g].function_name!r}): arrivals must be "
+            "sorted and non-negative"
         )
 
 
@@ -663,23 +737,7 @@ def run_grouped(
     n_total = int(offsets[-1])
 
     timestamps = np.concatenate([r.arrivals for r in requests])
-    # One batched validation pass over all groups: timestamps non-negative,
-    # and non-decreasing inside every group (decreases across group
-    # boundaries are fine).
-    if n_total:
-        decreasing = np.diff(timestamps) < 0
-        boundaries = offsets[1:-1] - 1
-        boundaries = boundaries[(boundaries >= 0) & (boundaries < decreasing.shape[0])]
-        decreasing[boundaries] = False
-        if np.any(timestamps < 0) or np.any(decreasing):
-            bad = np.nonzero(decreasing)[0]
-            g = int(np.searchsorted(offsets, bad[0], side="right") - 1) if bad.size else (
-                int(np.searchsorted(offsets, np.nonzero(timestamps < 0)[0][0], side="right") - 1)
-            )
-            raise SimulationError(
-                f"group {g} ({requests[g].function_name!r}): arrivals must be "
-                "sorted and non-negative"
-            )
+    validate_group_timestamps(timestamps, offsets, requests)
     cpu_noise = np.concatenate(cpu_noise_parts)
     service_ms = np.concatenate(service_parts)
     tail = np.concatenate(tail_parts)

@@ -155,9 +155,20 @@ class ParallelBackend(ExecutionBackend):
 
     name = "parallel"
 
-    def __init__(self, n_workers: int | None = None) -> None:
-        """Create the backend with an optional worker count (None = CPUs)."""
-        super().__init__(n_workers)
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        dtype: str = "float64",
+        noise: str = "per-group",
+    ) -> None:
+        """Create the backend with an optional worker count (None = CPUs).
+
+        ``dtype``/``noise`` are validated by the base class: the parallel
+        backend only runs the bit-exact float64/per-group configuration (its
+        workers must reproduce the sequential schedule's numbers exactly),
+        so anything else raises.
+        """
+        super().__init__(n_workers, dtype=dtype, noise=noise)
         self._vectorized = VectorizedBackend()
 
     def run_batch(self, platform, function_name, arrivals, rng=None):

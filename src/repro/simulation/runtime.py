@@ -476,3 +476,159 @@ class NodeRuntimeModel:
         if missing:  # defensive: keep the metric list and the dict in sync
             raise SimulationError(f"runtime model missed metrics: {sorted(missing)}")
         return metrics
+
+    def metrics_batch_grouped(
+        self,
+        inputs: RuntimeBatchInputs,
+        group_ids: np.ndarray,
+        cpu_ms: np.ndarray,
+        fs_ms: np.ndarray,
+        network_ms: np.ndarray,
+        service_ms: np.ndarray,
+        total_ms: np.ndarray,
+        jitters: np.ndarray,
+        scratch: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Temporary-free grouped evaluation of the Table-1 metric formulas.
+
+        The gather-based counterpart of :meth:`metrics_batch_inputs` used by
+        the compiled execution backend: ``inputs`` holds one value per
+        *group* (``(n_groups,)`` arrays) and ``group_ids`` maps each of the
+        ``n`` invocations to its group, so the expensive
+        ``np.repeat(columns, sizes)`` expansion never materializes.  Every
+        purely profile/size-derived subexpression is evaluated once per group
+        and gathered; per-invocation chains run through the two ``scratch``
+        buffers with explicit ``out=`` so the only ``(n,)`` allocations are
+        the 25 result arrays themselves.
+
+        Elementwise formula evaluation is length-independent, and the op
+        order below matches :meth:`metrics_batch_inputs` operation for
+        operation, so the result is bit-identical to expanding ``inputs`` to
+        per-invocation columns and calling :meth:`metrics_batch_inputs`.
+
+        Parameters match :meth:`metrics_batch_inputs` except ``group_ids``
+        (the ``(n,)`` int gather index) and ``scratch`` (two ``(n,)``
+        buffers of the compute dtype; allocated here when ``None``).
+        """
+        if np.any(np.asarray(inputs.memory_mb) <= 0):
+            raise SimulationError("memory_mb must be positive")
+        if np.any(np.asarray(inputs.cpu_share) <= 0):
+            raise SimulationError("cpu_share must be positive")
+        n = int(np.asarray(total_ms).shape[0])
+        dtype = np.asarray(total_ms).dtype
+        if scratch is None:
+            scratch = (np.empty(n, dtype=dtype), np.empty(n, dtype=dtype))
+        s1, s2 = scratch
+        g_memory = inputs.memory_mb
+
+        def take(column: np.ndarray, out: np.ndarray) -> np.ndarray:
+            return np.take(column, group_ids, out=out)
+
+        # --- group-level subexpressions (one value per group) -------------
+        g_user = inputs.cpu_user_ms * inputs.pressure_factor
+        g_io_waits = (
+            inputs.fs_read_ops
+            + inputs.fs_write_ops
+            + inputs.total_service_calls
+            + inputs.has_network
+        )
+        g_vol = 8.0 + 2.5 * g_io_waits
+        g_throttle = np.maximum(1.0 / inputs.cpu_share - 1.0, 0.0)
+        g_fs_reads = inputs.fs_read_ops + inputs.fs_read_bytes / 4096.0
+        g_fs_writes = inputs.fs_write_ops + inputs.fs_write_bytes / 4096.0
+        g_heap_limit = self.heap_fraction_of_memory * g_memory
+        g_heap_used = np.minimum(inputs.heap_allocated_mb, g_heap_limit)
+        g_resident = np.minimum(
+            _RUNTIME_BASELINE_MB + inputs.memory_working_set_mb, g_memory
+        )
+        g_allocated = inputs.memory_working_set_mb * 1.05 + 4.0
+        g_external = 1.5 + 0.4 * (inputs.fs_read_bytes + inputs.network_bytes_in) / 1e6
+        g_bytecode = 0.4 + inputs.code_size_kb / 1024.0 * 0.8
+        g_bytes_in = inputs.network_bytes_in + inputs.service_bytes_in
+        g_bytes_out = inputs.network_bytes_out + inputs.service_bytes_out
+        g_async_plus_1 = np.maximum(g_io_waits, 1.0) + 1.0
+
+        # --- per-invocation chains (scratch in, fresh result arrays out) --
+        user_cpu = np.multiply(take(g_user, s1), jitters[0])
+
+        np.multiply(fs_ms, 0.08, out=s1)
+        np.add(take(inputs.cpu_system_ms, s2), s1, out=s1)
+        np.multiply(network_ms, 0.05, out=s2)
+        np.add(s1, s2, out=s1)
+        np.multiply(service_ms, 0.02, out=s2)
+        np.add(s1, s2, out=s1)
+        system_cpu = np.multiply(s1, jitters[1])
+
+        vol_switches = np.multiply(take(g_vol, s1), jitters[2])
+
+        np.multiply(user_cpu, 0.6, out=s1)
+        np.multiply(s1, take(g_throttle, s2), out=s1)
+        np.divide(s1, 10.0, out=s1)
+        np.add(s1, 2.0, out=s1)
+        np.multiply(user_cpu, 0.02, out=s2)
+        np.add(s1, s2, out=s1)
+        invol_switches = np.multiply(s1, jitters[3])
+
+        fs_reads = np.multiply(take(g_fs_reads, s1), jitters[4])
+        fs_writes = np.multiply(take(g_fs_writes, s1), jitters[5])
+
+        heap_used = np.multiply(take(g_heap_used, s1), jitters[6])
+        np.multiply(heap_used, 1.35, out=s1)
+        np.add(s1, 6.0, out=s1)
+        heap_limit = take(g_heap_limit, s2).copy()
+        total_heap = np.minimum(s1, heap_limit)
+        physical_heap = np.multiply(total_heap, 0.95)
+        np.subtract(heap_limit, total_heap, out=s1)
+        available_heap = np.maximum(s1, 0.0)
+        resident_set = np.multiply(take(g_resident, s1), jitters[7])
+        np.multiply(resident_set, 1.08, out=s1)
+        max_resident_set = np.minimum(s1, take(g_memory, s2))
+        allocated_memory = np.multiply(take(g_allocated, s1), jitters[8])
+        external_memory = np.multiply(take(g_external, s1), jitters[9])
+        bytecode_metadata = np.multiply(take(g_bytecode, s1), jitters[10])
+
+        bytes_received = np.multiply(take(g_bytes_in, s1), jitters[11])
+        bytes_transmitted = np.multiply(take(g_bytes_out, s1), jitters[12])
+        service_calls = take(inputs.total_service_calls, s2)
+        np.divide(bytes_received, _PACKET_BYTES, out=s1)
+        np.ceil(s1, out=s1)
+        packages_received = np.add(s1, service_calls)
+        np.divide(bytes_transmitted, _PACKET_BYTES, out=s1)
+        np.ceil(s1, out=s1)
+        packages_transmitted = np.add(s1, service_calls)
+
+        np.multiply(cpu_ms, take(inputs.blocking_fraction, s2), out=s1)
+        np.divide(s1, take(g_async_plus_1, s2), out=s1)
+        mean_lag = np.add(s1, 0.05)
+        np.multiply(mean_lag, 3.0, out=s1)
+        max_lag = np.add(s1, 0.1)
+        min_lag = np.full(n, 0.02, dtype=dtype)
+        std_lag = np.multiply(mean_lag, 0.8)
+
+        return {
+            "execution_time": np.asarray(total_ms),
+            "user_cpu_time": user_cpu,
+            "system_cpu_time": system_cpu,
+            "vol_context_switches": vol_switches,
+            "invol_context_switches": invol_switches,
+            "fs_reads": fs_reads,
+            "fs_writes": fs_writes,
+            "resident_set_size": resident_set,
+            "max_resident_set_size": max_resident_set,
+            "total_heap": total_heap,
+            "heap_used": heap_used,
+            "physical_heap": physical_heap,
+            "available_heap": available_heap,
+            "heap_limit": heap_limit,
+            "allocated_memory": allocated_memory,
+            "external_memory": external_memory,
+            "bytecode_metadata": bytecode_metadata,
+            "bytes_received": bytes_received,
+            "bytes_transmitted": bytes_transmitted,
+            "packages_received": packages_received,
+            "packages_transmitted": packages_transmitted,
+            "min_event_loop_lag": min_lag,
+            "max_event_loop_lag": max_lag,
+            "mean_event_loop_lag": mean_lag,
+            "std_event_loop_lag": std_lag,
+        }

@@ -148,6 +148,29 @@ class ServiceCatalog:
         mean/sigma rows are cached per distinct call tuple — the fused
         cross-function path samples hundreds of small batches per window.
         """
+        fixed, mean_row, sigma_row = self.batch_rows(calls)
+        total = np.full(n, fixed) if fixed else np.zeros(n)
+        if mean_row is not None:
+            # lognormal(mu, sigma) == exp(mu + sigma * z): drawing the standard
+            # normals row-major reproduces the scalar per-call draw sequence.
+            z = rng.standard_normal((n, mean_row.shape[0]))
+            factors = np.exp(-0.5 * sigma_row * sigma_row + sigma_row * z)
+            total += (mean_row * factors).sum(axis=1)
+        return total
+
+    def batch_rows(
+        self, calls: tuple[ServiceCall, ...]
+    ) -> tuple[float, np.ndarray | None, np.ndarray | None]:
+        """``(fixed_ms, mean_row, sigma_row)`` of one distinct call tuple.
+
+        ``fixed_ms`` sums the calls the scalar sampler never draws for (zero
+        CV or zero mean); ``mean_row``/``sigma_row`` hold one entry per drawn
+        call, repeated ``call.calls`` times, or ``None`` when every call is
+        fixed.  Exposed (and cached) so batched executors can draw the standard
+        normals themselves — ``rng.standard_normal((n, len(mean_row)))`` — and
+        defer the arithmetic, while staying bit-identical to
+        :meth:`sample_latency_batch_ms`.
+        """
         rows = self._batch_rows.get(calls)
         if rows is None:
             fixed = 0.0
@@ -169,15 +192,7 @@ class ServiceCatalog:
                 np.asarray(sigmas) if means else None,
             )
             self._batch_rows[calls] = rows
-        fixed, mean_row, sigma_row = rows
-        total = np.full(n, fixed) if fixed else np.zeros(n)
-        if mean_row is not None:
-            # lognormal(mu, sigma) == exp(mu + sigma * z): drawing the standard
-            # normals row-major reproduces the scalar per-call draw sequence.
-            z = rng.standard_normal((n, mean_row.shape[0]))
-            factors = np.exp(-0.5 * sigma_row * sigma_row + sigma_row * z)
-            total += (mean_row * factors).sum(axis=1)
-        return total
+        return rows
 
     @staticmethod
     def default() -> "ServiceCatalog":

@@ -58,12 +58,24 @@ class VariabilityModel:
             raise ConfigurationError("tail_multiplier must be at least 1")
 
     @staticmethod
+    def lognormal_params(cv: float) -> tuple[float, float]:
+        """``(mu, sigma)`` of a mean-1 log-normal with coefficient of variation ``cv``.
+
+        This is the single source of the parameterization used by every noise
+        factory here; callers that hoist the parameters out of per-group loops
+        (the compiled execution backend) must use this helper so their raw
+        ``rng.lognormal(mu, sigma, n)`` draws stay bit-identical to
+        :meth:`cpu_factors`.
+        """
+        sigma = float(np.sqrt(np.log(1.0 + cv * cv)))
+        return -0.5 * sigma * sigma, sigma
+
+    @staticmethod
     def _lognormal_factor(rng: np.random.Generator, cv: float) -> float:
         """Sample a log-normal multiplicative factor with mean 1 and the given CV."""
         if cv <= 0:
             return 1.0
-        sigma = float(np.sqrt(np.log(1.0 + cv * cv)))
-        mu = -0.5 * sigma * sigma
+        mu, sigma = VariabilityModel.lognormal_params(cv)
         return float(rng.lognormal(mean=mu, sigma=sigma))
 
     @staticmethod
@@ -71,8 +83,7 @@ class VariabilityModel:
         """Batched counterpart of :meth:`_lognormal_factor` (one draw per entry)."""
         if cv <= 0:
             return np.ones(n)
-        sigma = float(np.sqrt(np.log(1.0 + cv * cv)))
-        mu = -0.5 * sigma * sigma
+        mu, sigma = VariabilityModel.lognormal_params(cv)
         return rng.lognormal(mean=mu, sigma=sigma, size=n)
 
     def cpu_factor(self, rng: np.random.Generator) -> float:

@@ -8,9 +8,11 @@ throughput and peak-memory trajectory of the two hot paths:
 - **fleet** — fused cross-function window execution vs the per-function-batch
   path (windows/s, invocations/s, tracemalloc peak bytes), plus the
   fleet-scale ``sparse`` section (sparse / cohort / sharded window variants
-  vs the dense O(fleet) reference on a mostly-idle fleet) and the
-  ``fleet_scale`` endurance run (one million functions through 24 virtual
-  hours at ``--scale full``);
+  vs the dense O(fleet) reference on a mostly-idle fleet), the ``compiled``
+  execution-backend section (compiled / pooled / float32 variants vs
+  vectorized on the sparse active groups, with numba JIT compile time
+  reported separately) and the ``fleet_scale`` endurance run (one million
+  functions through 24 virtual hours at ``--scale full``);
 - **generation** — training-dataset generation per execution-backend variant
   (invocations/s, tracemalloc peak bytes).
 
@@ -126,6 +128,7 @@ def bench_fleet() -> dict:
             results["looped"]["seconds"] / results["fused"]["seconds"], 2
         ),
         "sparse": bench_fleet_sparse(bench),
+        "compiled": bench_fleet_compiled(bench),
     }
 
 
@@ -185,6 +188,77 @@ def bench_fleet_sparse(bench) -> dict:
         "results": results,
         "speedup": round(
             results["dense"]["seconds"] / results["sparse"]["seconds"], 2
+        ),
+    }
+
+
+def bench_fleet_compiled(bench) -> dict:
+    """Execution-backend variants on the sparse scenario's active groups.
+
+    The timed region is the contested kernel work (``run_grouped`` + stat
+    reduction over pre-built requests), exactly the region
+    ``test_bench_compiled_backend_speedup`` asserts, and timings are the
+    best of repeated fresh runs (the benchmark's noise discipline); peak
+    bytes come from one separately traced run.  The compiled default must
+    agree bit for bit with vectorized (asserted); pooled noise and float32
+    are the explicitly statistical variants.  Numba availability and its
+    one-off JIT compile time are recorded separately so interpreter-only
+    environments stay comparable.
+    """
+    from repro.simulation.engine import get_backend
+
+    functions, traffic = bench._sparse_scenario()
+    window_arrivals = bench._sparse_active_arrivals(functions, traffic)
+    variants = {
+        "vectorized": {},
+        "compiled": {"backend": "compiled"},
+        "compiled-pooled": {"backend": "compiled", "noise": "pooled"},
+        "compiled-float32": {"backend": "compiled", "dtype": "float32"},
+    }
+    results = {}
+    reference = None
+    for label, knobs in variants.items():
+        def run(knobs=knobs):
+            return bench.execute_backend_windows(
+                functions, traffic, window_arrivals, **knobs
+            )
+
+        (_, invocations, stats), wall_seconds, peak = _traced(run)
+        seconds, _, _ = bench._best_of(3, run)
+        if label == "vectorized":
+            reference = stats
+        elif label == "compiled" and not all(
+            np.array_equal(ref_window, window)
+            for ref_window, window in zip(reference, stats)
+        ):
+            raise AssertionError("compiled default stats diverged from vectorized")
+        results[label] = {
+            "windows_per_second": round(bench.SPARSE_WINDOWS / seconds, 3),
+            "seconds": round(seconds, 4),
+            "wall_seconds": round(wall_seconds, 4),
+            "invocations": invocations,
+            "peak_bytes": int(peak),
+        }
+    warm_backend = get_backend("compiled")
+    return {
+        "config": {
+            "n_functions": bench.SPARSE_FUNCTIONS,
+            "n_windows": bench.SPARSE_WINDOWS,
+            "window_s": bench.WINDOW_S,
+            "mean_rate_range_rps": list(bench.SPARSE_RATE_RANGE),
+        },
+        "results": results,
+        "numba": {
+            "available": warm_backend.uses_numba,
+            "compile_seconds": round(warm_backend.warmup(), 3),
+        },
+        "speedup": round(
+            results["vectorized"]["seconds"] / results["compiled"]["seconds"], 2
+        ),
+        "pooled_speedup": round(
+            results["vectorized"]["seconds"]
+            / results["compiled-pooled"]["seconds"],
+            2,
         ),
     }
 
@@ -313,6 +387,8 @@ def main(argv=None) -> int:
             f"looped {report['results']['looped']['ops_per_second']:,.0f} inv/s "
             f"({report['speedup']}x); sparse {report['sparse']['speedup']}x over "
             f"dense at {report['sparse']['config']['n_functions']:,} functions; "
+            f"compiled {report['compiled']['speedup']}x / pooled "
+            f"{report['compiled']['pooled_speedup']}x over vectorized; "
             f"fleet-scale {report['fleet_scale']['config']['n_functions']:,} "
             f"functions x {report['fleet_scale']['config']['n_windows']} windows "
             f"in {scale_row['seconds']:.1f} s "
