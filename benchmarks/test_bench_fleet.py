@@ -53,6 +53,7 @@ from repro.simulation.seeding import (
     STREAM_EXECUTION,
     STREAM_TRAFFIC,
     child_rng,
+    keyed_child_rngs,
     spawn_child_rngs,
 )
 from repro.workloads.generator import GeneratorConfig, SyntheticFunctionGenerator
@@ -110,6 +111,10 @@ def _min_compiled_default_speedup() -> float:
     return float(
         os.environ.get("REPRO_BENCH_FLEET_COMPILED_MIN_DEFAULT_SPEEDUP", "1.2")
     )
+
+
+def _orchestration_factor() -> float:
+    return float(os.environ.get("REPRO_BENCH_FLEET_ORCH_FACTOR", "3.0"))
 
 
 def _build_service(context) -> FleetRightsizingService:
@@ -269,20 +274,20 @@ def _sparse_scenario(n_functions=None):
     bases = SyntheticFunctionGenerator(
         config=GeneratorConfig(seed=95, name_prefix="bench-sparse")
     ).generate(min(SPARSE_BASE_SPECS, n_functions))
+    # Cheap replication + batch-validated traffic construction: at the
+    # million-function endurance scale the scenario build itself must not
+    # dominate the run (tracked as ``setup_seconds`` in BENCH_fleet.json).
     functions = [
-        replace(bases[i % len(bases)], name=f"bench-sparse-{i}")
+        bases[i % len(bases)].with_name(f"bench-sparse-{i}")
         for i in range(n_functions)
     ]
     rng = np.random.default_rng(96)
     lo, hi = SPARSE_RATE_RANGE
-    traffic = [
-        DiurnalTraffic(
-            mean_rate_rps=float(rng.uniform(lo, hi)),
-            amplitude=float(rng.uniform(0.4, 0.8)),
-            phase_s=float(rng.uniform(0.0, 86_400.0)),
-        )
-        for _ in range(n_functions)
-    ]
+    traffic = DiurnalTraffic.batch_build(
+        mean_rate_rps=rng.uniform(lo, hi, n_functions),
+        amplitude=rng.uniform(0.4, 0.8, n_functions),
+        phase_s=rng.uniform(0.0, 86_400.0, n_functions),
+    )
     return functions, traffic
 
 
@@ -394,7 +399,9 @@ def _sparse_active_arrivals(functions, traffic, n_windows=SPARSE_WINDOWS, seed=9
     windows = []
     for window_index in range(n_windows):
         start_s = window_index * WINDOW_S
-        rngs = spawn_child_rngs(seed, STREAM_TRAFFIC, window_index, n=len(functions))
+        rngs = keyed_child_rngs(
+            seed, STREAM_TRAFFIC, window_index, indices=np.arange(len(functions))
+        )
         active = []
         for i, (model, rng) in enumerate(zip(traffic, rngs)):
             arrivals = model.arrivals(start_s, start_s + WINDOW_S, rng)
@@ -444,14 +451,20 @@ def execute_backend_windows(
                 for i, arrivals in active
             ]
         else:
-            rngs = spawn_child_rngs(
-                seed, STREAM_EXECUTION, window_index, n=len(functions)
+            # O(active) keyed derivation: only the active functions' streams
+            # are constructed (bit-identical to spawning the full fleet and
+            # indexing), so idle functions never cost a stream here either.
+            rngs = keyed_child_rngs(
+                seed,
+                STREAM_EXECUTION,
+                window_index,
+                indices=np.array([i for i, _ in active], dtype=np.int64),
             )
             requests = [
                 GroupRequest.for_deployed(
-                    simulator.platform, functions[i].name, arrivals, rngs[i]
+                    simulator.platform, functions[i].name, arrivals, rngs[j]
                 )
-                for i, arrivals in active
+                for j, (i, arrivals) in enumerate(active)
             ]
         start = time.perf_counter()
         batch = simulator.backend.run_grouped(simulator.platform, requests)
@@ -526,13 +539,18 @@ def test_bench_compiled_backend_speedup():
     )
     prebuilt = []
     for window_index, active in enumerate(window_arrivals):
-        rngs = spawn_child_rngs(99, STREAM_EXECUTION, window_index, n=len(functions))
+        rngs = keyed_child_rngs(
+            99,
+            STREAM_EXECUTION,
+            window_index,
+            indices=np.array([i for i, _ in active], dtype=np.int64),
+        )
         prebuilt.append(
             [
                 GroupRequest.for_deployed(
-                    simulator.platform, functions[i].name, arrivals, rngs[i]
+                    simulator.platform, functions[i].name, arrivals, rngs[j]
                 )
-                for i, arrivals in active
+                for j, (i, arrivals) in enumerate(active)
             ]
         )
     tracemalloc.start()
@@ -554,6 +572,60 @@ def test_bench_compiled_backend_speedup():
         f"(bound {bound / 1e6:.2f} MB)"
     )
     assert peak_bytes < bound
+
+
+def test_bench_default_orchestration_overhead():
+    """Acceptance criterion: default windows within ORCH_FACTOR x pooled wall.
+
+    The pooled-noise mode is the fleet's orchestration floor: one shared
+    window stream, no per-function stream derivation.  The default
+    per-function-deterministic mode pays keyed O(active) stream derivation
+    and per-group request construction on top.  This guard bounds that
+    orchestration overhead at ``REPRO_BENCH_FLEET_ORCH_FACTOR`` (default 3)
+    times the pooled wall — the fast path must scale with *active* work,
+    not fleet size (the former full-fleet spawn made this ~16x).
+
+    Parity is gated first at sub-scale under per-function traffic: the
+    default path must reproduce the pre-fast-path reference (full-fleet
+    spawned streams, one engine group per function) bit for bit, so the
+    measured factor is pure orchestration cost — identical statistics.
+    """
+    parity_functions, parity_traffic = _sparse_scenario(min(2_000, SPARSE_FUNCTIONS))
+    _, _, dense_stats = execute_dense_reference_windows(
+        parity_functions, parity_traffic, n_windows=1
+    )
+    _, _, default_windows = execute_sparse_windows(
+        parity_functions,
+        parity_traffic,
+        n_windows=1,
+        traffic_mode="per-function",
+        backend="compiled",
+    )
+    np.testing.assert_array_equal(
+        default_windows[0].to_dense().stats, dense_stats[0]
+    )
+
+    functions, traffic = _sparse_scenario()
+    default_seconds, default_invocations, _ = _best_of(
+        2, lambda: execute_sparse_windows(functions, traffic, backend="compiled")
+    )
+    pooled_seconds, pooled_invocations, _ = _best_of(
+        2,
+        lambda: execute_sparse_windows(
+            functions, traffic, backend="compiled", noise="pooled"
+        ),
+    )
+    factor = default_seconds / pooled_seconds
+    print()
+    print(
+        f"orchestration overhead: {SPARSE_FUNCTIONS:,} functions x "
+        f"{SPARSE_WINDOWS} windows: default "
+        f"{default_seconds * 1e3 / SPARSE_WINDOWS:.1f} ms/window vs pooled "
+        f"{pooled_seconds * 1e3 / SPARSE_WINDOWS:.1f} ms/window "
+        f"({factor:.2f}x, bound {_orchestration_factor():.1f}x)"
+    )
+    assert default_invocations > 0 and pooled_invocations > 0
+    assert factor <= _orchestration_factor()
 
 
 def test_bench_fleet_window_memory_bounded_by_active():

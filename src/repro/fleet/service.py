@@ -25,6 +25,7 @@ count instead.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable
 
 import numpy as np
@@ -107,10 +108,21 @@ class FleetRightsizingService:
         )
 
     def run_window(self) -> tuple[list[ResizeEvent], object]:
-        """Advance the loop by one window; returns (events, window account)."""
+        """Advance the loop by one window; returns (events, window account).
+
+        The controller and ledger stages book their wall time into the
+        simulator's :class:`~repro.fleet.profiling.WindowPhaseProfiler`
+        (phases ``decide`` and ``ledger``), completing the per-window
+        phase breakdown the simulator starts.
+        """
+        profiler = self.simulator.profiler
         window = self.simulator.run_window()
+        tick = perf_counter()
         events = self.controller.step(self.simulator, window)
+        profiler.add("decide", perf_counter() - tick)
+        tick = perf_counter()
         account = self.ledger.observe(window, events)
+        profiler.add("ledger", perf_counter() - tick)
         return events, account
 
     def run(

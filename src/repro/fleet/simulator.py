@@ -58,10 +58,12 @@ three compounding levers make :meth:`FleetSimulator.run_window` scale with
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.fleet.profiling import WindowPhaseProfiler
 from repro.monitoring.aggregation import STAT_NAMES
 from repro.monitoring.metrics import METRIC_NAMES
 from repro.simulation.engine import (
@@ -75,7 +77,7 @@ from repro.simulation.seeding import (
     STREAM_EXECUTION,
     STREAM_TRAFFIC,
     child_rng,
-    spawn_child_rngs,
+    keyed_child_rngs,
 )
 from repro.workloads.function import FunctionSpec
 from repro.workloads.traffic import (
@@ -459,15 +461,19 @@ class FleetSimulator:
         self._memory_mb = np.full(
             len(self.functions), int(self.config.default_memory_mb), dtype=int
         )
-        self._schedule = (
-            FleetTrafficSchedule(self.traffic)
-            if self.config.traffic_mode == "fused"
-            else None
+        # Both traffic modes sample through the fused schedule kernels now
+        # (the per-function mode through its keyed-stream entry point), so
+        # the schedule is always built.
+        self._schedule = FleetTrafficSchedule(self.traffic)
+        # Deployment rows indexed by function, maintained across resizes, so
+        # window request construction never round-trips through the
+        # platform's name registry.
+        self._deployments = self.platform.deploy_many(
+            names,
+            [function.profile for function in self.functions],
+            float(self.config.default_memory_mb),
         )
-        for function in self.functions:
-            self.platform.deploy(
-                function.name, function.profile, float(self.config.default_memory_mb)
-            )
+        self.profiler = WindowPhaseProfiler()
 
     # ------------------------------------------------------------------ state
     @property
@@ -506,26 +512,13 @@ class FleetSimulator:
         self.platform.set_memory_size(
             function.name, float(memory_mb), at_time_s=self._clock_s
         )
+        # Redeployment replaced the platform record; refresh the cached row.
+        self._deployments[int(function_index)] = self.platform.get_function(
+            function.name
+        )
         self._memory_mb[int(function_index)] = memory_mb
 
     # ----------------------------------------------------------------- window
-    def _window_arrivals(
-        self, index: int, start_s: float, end_s: float, rng: np.random.Generator
-    ) -> np.ndarray:
-        """Sample (and optionally cap) one function's window arrivals.
-
-        Arrivals draw from the (window, function) pair's private traffic
-        stream, so the trace of one function does not depend on how many
-        arrivals its neighbours produced — and fused and looped window
-        execution see identical traffic.
-        """
-        arrivals = self.traffic[index].arrivals(start_s, end_s, rng)
-        cap = self.config.max_arrivals_per_window
-        if cap is not None and arrivals.shape[0] > cap:
-            keep = np.linspace(0, arrivals.shape[0] - 1, cap).astype(int)
-            arrivals = arrivals[keep]
-        return arrivals
-
     def _sample_arrivals(self, start_s: float, end_s: float) -> FleetArrivals:
         """Sample the whole fleet's window arrivals.
 
@@ -535,57 +528,60 @@ class FleetSimulator:
         Both are deterministic in the seed but produce *different* (equally
         valid) realizations of the same processes.
         """
-        if self._schedule is not None:
+        if self.config.traffic_mode == "fused":
             return self._schedule.sample_window(
                 start_s,
                 end_s,
                 child_rng(self.config.seed, STREAM_TRAFFIC, self._window_index),
                 max_per_function=self.config.max_arrivals_per_window,
             )
-        traffic_rngs = spawn_child_rngs(
-            self.config.seed, STREAM_TRAFFIC, self._window_index, n=self.n_functions
+        traffic_rngs = keyed_child_rngs(
+            self.config.seed,
+            STREAM_TRAFFIC,
+            self._window_index,
+            indices=np.arange(self.n_functions),
         )
-        per_function = [
-            self._window_arrivals(i, start_s, end_s, traffic_rngs[i])
-            for i in range(self.n_functions)
-        ]
-        return FleetArrivals.from_arrays(start_s, end_s, per_function)
+        return self._schedule.sample_window_keyed(
+            start_s,
+            end_s,
+            traffic_rngs,
+            max_per_function=self.config.max_arrivals_per_window,
+        )
 
     def _execution_rngs(self, indices: np.ndarray) -> list[np.random.Generator]:
-        """Spawn the private noise streams of the given function indices.
+        """Derive the private noise streams of the given function indices.
 
-        By the seeding contract, spawning the full fleet at once and
-        indexing is identical to spawning each child individually — the
-        batched spawn amortizes better when most of the fleet is active,
-        the individual spawn keeps sparse windows O(active).
+        Keyed derivation (:func:`~repro.simulation.seeding.keyed_child_rngs`)
+        constructs exactly the requested streams in one vectorized batch —
+        bit-identical to spawning the full fleet and indexing, but O(active)
+        regardless of fleet size, so idle functions never cost a stream.
 
         In the pooled-noise mode every group shares one window-scoped
         stream (keyed by window only, no per-function children), so the
-        spawn cost is O(1) regardless of how many functions are active.
+        cost is O(1) regardless of how many functions are active.
         """
-        n = self.n_functions
         seed = self.platform.config.seed
         if self.config.noise == "pooled":
             shared = child_rng(seed, STREAM_EXECUTION, self._window_index)
             return [shared] * indices.shape[0]
-        if indices.shape[0] * 4 >= n:
-            rngs = spawn_child_rngs(seed, STREAM_EXECUTION, self._window_index, n=n)
-            return [rngs[int(i)] for i in indices]
-        return [
-            child_rng(seed, STREAM_EXECUTION, self._window_index, int(i))
-            for i in indices
-        ]
+        return keyed_child_rngs(
+            seed, STREAM_EXECUTION, self._window_index, indices=indices
+        )
 
     def _cohort_plan(
         self, active: np.ndarray, start_s: float, end_s: float
     ) -> np.ndarray | None:
         """Map each active position to its cohort representative's position.
 
-        Cohort key: (profile identity, deployed memory size, log10 bucket of
-        the mean window rate).  Functions whose mean rate is not bucketable
-        (zero / non-finite) stay solo.  Returns ``None`` when cohorting is
-        off or degenerate (every cohort a singleton) so callers keep the
-        exact path.
+        Cohort key: (profile value, deployed memory size, log10 bucket of
+        the mean window rate).  The profile participates by *value* —
+        :class:`~repro.simulation.profile.ResourceProfile` is frozen and
+        hashable — so cohort assignment is deterministic across processes,
+        shards and runs, and equal-valued profiles cohort together even when
+        they are distinct objects.  Functions whose mean rate is not
+        bucketable (zero / non-finite) stay solo.  Returns ``None`` when
+        cohorting is off or degenerate (every cohort a singleton) so callers
+        keep the exact path.
         """
         if self.config.cohort_mode != "statistical" or active.shape[0] < 2:
             return None
@@ -606,7 +602,7 @@ class FleetSimulator:
         for position, index in enumerate(active):
             if bucketable[position]:
                 key: object = (
-                    id(self.functions[int(index)].profile),
+                    self.functions[int(index)].profile,
                     int(self._memory_mb[int(index)]),
                     int(buckets[position]),
                 )
@@ -638,24 +634,37 @@ class FleetSimulator:
                 np.zeros(0, dtype=np.int64),
                 np.zeros(0, dtype=float),
             )
+        tick = perf_counter()
         plan = self._cohort_plan(active, arrivals.start_s, arrivals.end_s)
         if plan is None:
             execute_positions = np.arange(k)
         else:
             execute_positions = np.unique(plan)
         execute = active[execute_positions]
+        self.profiler.add("group-build", perf_counter() - tick)
+        tick = perf_counter()
         exec_rngs = self._execution_rngs(execute)
+        self.profiler.add("seeding", perf_counter() - tick)
         e = execute.shape[0]
         if self.config.fused:
+            # Build group requests straight from the cached deployment rows
+            # and the columnar arrival buffers: no platform name-registry
+            # lookups, no per-group array re-validation — each request holds
+            # a view into the window's flat ``times_s``.
+            tick = perf_counter()
+            times_s = arrivals.times_s
+            offsets = arrivals.offsets
+            deployments = self._deployments
             requests = [
-                GroupRequest.for_deployed(
-                    self.platform,
-                    self.functions[int(i)].name,
-                    arrivals.arrivals_of(int(i)),
-                    exec_rngs[j],
+                GroupRequest(
+                    deployment=deployments[i],
+                    arrivals=times_s[offsets[i] : offsets[i + 1]],
+                    rng=exec_rngs[j],
                 )
-                for j, i in enumerate(execute)
+                for j, i in enumerate(execute.tolist())
             ]
+            self.profiler.add("group-build", perf_counter() - tick)
+            tick = perf_counter()
             shard = self.config.window_shard_size
             if shard is not None and len(requests) > shard:
                 stats_e = np.zeros((e, n_metrics, n_stats), dtype=float)
@@ -677,13 +686,17 @@ class FleetSimulator:
                     exclude_cold_starts=self.config.exclude_cold_starts,
                     on_shard=_collect,
                 )
+                self.profiler.add("execute", perf_counter() - tick)
             else:
                 batch = self.backend.run_grouped(self.platform, requests)
+                self.profiler.add("execute", perf_counter() - tick)
+                tick = perf_counter()
                 stats_e, ninv_e = batch.aggregate_stats(
                     warmup_s=0.0, exclude_cold_starts=self.config.exclude_cold_starts
                 )
                 cold_e = batch.cold_starts_per_group()
                 cost_e = batch.cost_per_group()
+                self.profiler.add("reduce", perf_counter() - tick)
             if self.config.stream_records:
                 # The batch backends materialize no records, but the serial
                 # backend's scalar path appends every invocation to the
@@ -691,6 +704,7 @@ class FleetSimulator:
                 # memory stays bounded by one window regardless of backend.
                 self.platform.discard_all_records()
         else:
+            tick = perf_counter()
             stats_e = np.zeros((e, n_metrics, n_stats), dtype=float)
             ninv_e = np.zeros(e, dtype=np.int64)
             cold_e = np.zeros(e, dtype=np.int64)
@@ -710,8 +724,10 @@ class FleetSimulator:
                 cost_e[j] = batch.total_cost_usd
                 if self.config.stream_records:
                     self.platform.discard_function_records(name)
+            self.profiler.add("execute", perf_counter() - tick)
         if plan is None:
             return active, stats_e, ninv_e, cold_e, cost_e
+        tick = perf_counter()
         # Broadcast each representative's stat block to its cohort members,
         # scaled by the member's own arrival count.  Representatives map to
         # themselves with scale exactly 1.0, so their rows stay bit-exact.
@@ -735,6 +751,7 @@ class FleetSimulator:
             self.platform._functions[name].invocation_count += int(
                 counts_all[active[position]]
             )
+        self.profiler.add("reduce", perf_counter() - tick)
         return active, stats_k, ninv_k, cold_k, cost_k
 
     def run_window(self) -> FleetWindow | SparseFleetWindow:
@@ -753,14 +770,17 @@ class FleetSimulator:
         """
         start_s = self._clock_s
         end_s = start_s + self.config.window_s
+        tick = perf_counter()
         arrivals = self._sample_arrivals(start_s, end_s)
+        self.profiler.add("traffic", perf_counter() - tick)
         active, stats_k, ninv_k, cold_k, cost_k = self._execute_active(arrivals)
+        tick = perf_counter()
         n_arrivals_k = arrivals.counts()[active]
         index = self._window_index
         self._clock_s = end_s
         self._window_index += 1
         if self.config.sparse:
-            return SparseFleetWindow(
+            window: FleetWindow | SparseFleetWindow = SparseFleetWindow(
                 index=index,
                 start_s=start_s,
                 end_s=end_s,
@@ -772,25 +792,29 @@ class FleetSimulator:
                 n_cold_starts=cold_k,
                 cost_usd=cost_k,
             )
-        n = self.n_functions
-        stats = np.zeros((n, len(METRIC_NAMES), len(STAT_NAMES)), dtype=float)
-        n_invocations = np.zeros(n, dtype=np.int64)
-        n_arrivals = np.zeros(n, dtype=np.int64)
-        n_cold = np.zeros(n, dtype=np.int64)
-        cost = np.zeros(n, dtype=float)
-        stats[active] = stats_k
-        n_invocations[active] = ninv_k
-        n_arrivals[active] = n_arrivals_k
-        n_cold[active] = cold_k
-        cost[active] = cost_k
-        return FleetWindow(
-            index=index,
-            start_s=start_s,
-            end_s=end_s,
-            memory_mb=self._memory_mb.copy(),
-            stats=stats,
-            n_invocations=n_invocations,
-            n_arrivals=n_arrivals,
-            n_cold_starts=n_cold,
-            cost_usd=cost,
-        )
+        else:
+            n = self.n_functions
+            stats = np.zeros((n, len(METRIC_NAMES), len(STAT_NAMES)), dtype=float)
+            n_invocations = np.zeros(n, dtype=np.int64)
+            n_arrivals = np.zeros(n, dtype=np.int64)
+            n_cold = np.zeros(n, dtype=np.int64)
+            cost = np.zeros(n, dtype=float)
+            stats[active] = stats_k
+            n_invocations[active] = ninv_k
+            n_arrivals[active] = n_arrivals_k
+            n_cold[active] = cold_k
+            cost[active] = cost_k
+            window = FleetWindow(
+                index=index,
+                start_s=start_s,
+                end_s=end_s,
+                memory_mb=self._memory_mb.copy(),
+                stats=stats,
+                n_invocations=n_invocations,
+                n_arrivals=n_arrivals,
+                n_cold_starts=n_cold,
+                cost_usd=cost,
+            )
+        self.profiler.add("reduce", perf_counter() - tick)
+        self.profiler.count_window()
+        return window

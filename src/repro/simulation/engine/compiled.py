@@ -80,17 +80,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 _NUMBA_KERNELS: dict | None = None
 
+#: Human-readable reason the numba kernels are unavailable (``None`` while
+#: undetermined or when they are active); surfaced by ``tools/bench_report``.
+_NUMBA_UNAVAILABLE_REASON: str | None = None
+
 
 def _compile_numba_kernels() -> dict:
     """Build the ``@njit`` kernel variants, or ``{}`` when numba is absent.
 
     The import is wrapped broadly: a missing or broken numba install must
-    degrade to the pure-NumPy kernels, never fail the backend.
+    degrade to the pure-NumPy kernels, never fail the backend.  When the
+    import fails the reason is recorded for benchmark reports
+    (:func:`numba_unavailable_reason`).
     """
+    global _NUMBA_UNAVAILABLE_REASON
     try:
         from numba import njit
-    except Exception:  # pragma: no cover - exercised via monkeypatched import
+    except Exception as exc:  # pragma: no cover - exercised via monkeypatched import
+        _NUMBA_UNAVAILABLE_REASON = f"{type(exc).__name__}: {exc}"
         return {}
+    _NUMBA_UNAVAILABLE_REASON = None
 
     @njit
     def solve_cold_recurrence_loop(abs_mask, abs_vals, flip):
@@ -135,8 +144,22 @@ def _numba_kernels() -> dict:
 
 def _reset_numba_kernels() -> None:
     """Drop the cached kernel resolution (tests monkeypatch the import)."""
-    global _NUMBA_KERNELS
+    global _NUMBA_KERNELS, _NUMBA_UNAVAILABLE_REASON
     _NUMBA_KERNELS = None
+    _NUMBA_UNAVAILABLE_REASON = None
+
+
+def numba_unavailable_reason() -> str | None:
+    """Why the JIT kernels are inactive, or ``None`` when they are active.
+
+    Resolves the kernels first, so callers never see the undetermined
+    state.  The string is the import failure (``"ModuleNotFoundError: ..."``
+    for a plain missing install), meant for benchmark reports that must
+    distinguish "numba absent by design" from "numba broken".
+    """
+    if _numba_kernels():
+        return None
+    return _NUMBA_UNAVAILABLE_REASON or "numba import failed"
 
 
 def _classify_pairs_numpy(t, exec_ms, init_worst, gid, keep_alive):

@@ -21,6 +21,7 @@ passing invocation timestamps (the open-loop load generator in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import repeat
 
 import numpy as np
 
@@ -68,9 +69,13 @@ class PlatformConfig:
                 raise ConfigurationError("memory sizes must be positive")
 
 
-@dataclass
+@dataclass(slots=True)
 class DeployedFunction:
-    """Deployment record of one serverless function."""
+    """Deployment record of one serverless function.
+
+    Slotted: a million-function fleet holds one record per function, so the
+    per-instance dict would dominate the platform's deployment memory.
+    """
 
     name: str
     profile: ResourceProfile
@@ -173,6 +178,45 @@ class ServerlessPlatform:
         self._functions[name] = deployment
         self._instances[name] = []  # redeployment drops all warm instances
         return deployment
+
+    def deploy_many(
+        self,
+        names: list[str],
+        profiles: list[ResourceProfile],
+        memory_mb: float,
+        at_time_s: float = 0.0,
+    ) -> list[DeployedFunction]:
+        """Deploy many functions at one shared memory size, in bulk.
+
+        Semantically one :meth:`deploy` call per (name, profile) pair — same
+        records, same redeployment semantics — but the size is validated once
+        and the per-call overhead is amortized, which matters when a
+        million-function fleet is brought up in one constructor.  Returns
+        the deployment records in input order.
+        """
+        if len(names) != len(profiles):
+            raise ConfigurationError(
+                f"got {len(profiles)} profiles for {len(names)} function names"
+            )
+        if any(not name for name in names):
+            raise ConfigurationError("function name must be non-empty")
+        memory_mb = self._check_memory(memory_mb)
+        at_time_s = float(at_time_s)
+        deployments = list(
+            map(
+                DeployedFunction,
+                names,
+                profiles,
+                repeat(memory_mb),
+                repeat(at_time_s),
+            )
+        )
+        # C-level bulk insertion; a repeated name keeps its last record,
+        # exactly as sequential deploys would.
+        self._functions.update(zip(names, deployments))
+        # Fresh warm-instance lists: redeployment drops warm instances.
+        self._instances.update({name: [] for name in names})
+        return deployments
 
     def get_function(self, name: str) -> DeployedFunction:
         """Return the deployment record for ``name``."""

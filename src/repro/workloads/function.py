@@ -43,6 +43,24 @@ class FunctionSpec:
             raise WorkloadError("function name must be non-empty")
         object.__setattr__(self, "segments", tuple(self.segments))
 
+    def with_name(self, name: str) -> "FunctionSpec":
+        """A copy of this spec under a different (non-empty) name.
+
+        Fleet-scale scenarios replicate a handful of base specs under
+        hundreds of thousands of distinct names; this constructor shares the
+        already-validated profile/segments fields instead of re-running
+        ``dataclasses.replace`` and its re-validation per copy, which makes
+        million-function fleet setup a sub-second affair.
+        """
+        if not name:
+            raise WorkloadError("function name must be non-empty")
+        copy = object.__new__(FunctionSpec)
+        object.__setattr__(copy, "name", name)
+        object.__setattr__(copy, "profile", self.profile)
+        object.__setattr__(copy, "segments", self.segments)
+        object.__setattr__(copy, "application", self.application)
+        return copy
+
     @property
     def segment_names(self) -> tuple[str, ...]:
         """Names of the composed segments, in execution order."""

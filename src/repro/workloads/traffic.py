@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from operator import attrgetter
 
 import numpy as np
 
@@ -271,6 +272,55 @@ class DiurnalTraffic(TrafficModel):
         mean, amplitude, period, phase = params
         cycle = np.sin(2.0 * np.pi * (times_s - phase) / period)
         return mean * (1.0 + amplitude * cycle)
+
+    @classmethod
+    def batch_build(
+        cls,
+        mean_rate_rps: np.ndarray,
+        amplitude: np.ndarray | float = 0.6,
+        period_s: np.ndarray | float = 86_400.0,
+        phase_s: np.ndarray | float = 0.0,
+    ) -> list["DiurnalTraffic"]:
+        """Construct many models at once with validation done vectorized.
+
+        Fleet-scale scenarios build one model per function (10^5–10^6 of
+        them); per-instance ``__post_init__`` validation dominates that
+        setup.  This constructor enforces exactly the same constraints once
+        over whole parameter arrays, then assembles the (frozen) instances
+        directly.  Scalars broadcast across the batch.  The returned models
+        are value-equal to ones built one by one.
+        """
+        n = int(np.asarray(mean_rate_rps).shape[0])
+        columns = []
+        for name, values in (
+            ("mean_rate_rps", mean_rate_rps),
+            ("amplitude", amplitude),
+            ("period_s", period_s),
+            ("phase_s", phase_s),
+        ):
+            column = np.broadcast_to(np.asarray(values, dtype=float), (n,))
+            if not np.all(np.isfinite(column)):
+                raise ConfigurationError(f"{name} must be finite")
+            columns.append(column)
+        means, amplitudes, periods, phases = columns
+        if np.any(means <= 0.0):
+            raise ConfigurationError("mean_rate_rps must be a positive finite number")
+        if np.any(periods <= 0.0):
+            raise ConfigurationError("period_s must be a positive finite number")
+        if np.any((amplitudes < 0.0) | (amplitudes >= 1.0)):
+            raise ConfigurationError("amplitude must be in [0, 1)")
+        new, setattr_ = object.__new__, object.__setattr__
+        models = []
+        for mean, amp, period, phase in zip(
+            means.tolist(), amplitudes.tolist(), periods.tolist(), phases.tolist()
+        ):
+            model = new(cls)
+            setattr_(model, "mean_rate_rps", mean)
+            setattr_(model, "amplitude", amp)
+            setattr_(model, "period_s", period)
+            setattr_(model, "phase_s", phase)
+            models.append(model)
+        return models
 
 
 @dataclass(frozen=True)
@@ -693,6 +743,30 @@ class FleetArrivals:
         )
 
 
+# Bulk parameter extraction for the kernel classes: the attribute sweep that
+# reproduces each class's ``batch_params()`` row order, and the columnwise
+# thinning envelope that reproduces ``peak_rate`` elementwise.  Keyed by
+# EXACT class — subclasses may override either method, so they (and any
+# third-party model) take the per-model fallback loop in
+# ``FleetTrafficSchedule.__init__`` instead.
+_BATCH_EXTRACT: dict[type, tuple] = {
+    ConstantTraffic: (
+        attrgetter("rate_rps"),
+        lambda columns: columns[0],
+    ),
+    DiurnalTraffic: (
+        attrgetter("mean_rate_rps", "amplitude", "period_s", "phase_s"),
+        lambda columns: columns[0] * (1.0 + columns[1]),
+    ),
+    RampTraffic: (
+        attrgetter(
+            "start_rate_rps", "end_rate_rps", "ramp_start_s", "ramp_duration_s"
+        ),
+        lambda columns: np.maximum(columns[0], columns[1]),
+    ),
+}
+
+
 class FleetTrafficSchedule:
     """Fused Lewis–Shedler thinning across a whole fleet of traffic models.
 
@@ -716,7 +790,16 @@ class FleetTrafficSchedule:
     """
 
     def __init__(self, models: list[TrafficModel]) -> None:
-        """Index the fleet's models by kernel class and exception kind."""
+        """Index the fleet's models by kernel class and exception kind.
+
+        Partitions by exact class in C-level passes and extracts each known
+        kernel class's parameter matrix with one :func:`~operator.attrgetter`
+        sweep (``_BATCH_EXTRACT``), so million-model fleets index in a few
+        hundred milliseconds.  Exact subclasses of the built-in models and
+        third-party models go through the original per-model loop —
+        ``batch_params()``/``peak_rate`` per instance — with identical
+        results.
+        """
         self.models = list(models)
         n = len(self.models)
         peaks = np.zeros(n, dtype=float)
@@ -724,24 +807,57 @@ class FleetTrafficSchedule:
         self._rank = np.zeros(n, dtype=np.int64)
         self._trace_indices: list[int] = []
         self._fallback_indices: list[int] = []
-        grouped: dict[type, list[int]] = {}
-        for index, model in enumerate(self.models):
-            if isinstance(model, TraceTraffic):
-                self._trace_indices.append(index)
-                continue  # peak stays 0.0: replay is exact, never thinned
-            peaks[index] = float(model.peak_rate)
-            if model.batch_params() is None:
-                self._fallback_indices.append(index)
-            else:
-                grouped.setdefault(type(model), []).append(index)
+        class_ids = np.fromiter(
+            map(id, map(type, self.models)), dtype=np.int64, count=n
+        )
+        # (first_index, cls, members, columns) — sorted below so kernel
+        # codes follow first occurrence, as the per-model loop produced.
+        kernels: list[tuple[int, type, np.ndarray, np.ndarray]] = []
+        for cls in set(map(type, self.models)):
+            members = np.flatnonzero(class_ids == id(cls))
+            if cls is TraceTraffic:
+                # peak stays 0.0: replay is exact, never thinned
+                self._trace_indices.extend(members.tolist())
+                continue
+            extract = _BATCH_EXTRACT.get(cls)
+            if extract is not None:
+                getter, peaks_of = extract
+                if members.shape[0] == n:
+                    selected = self.models
+                else:
+                    all_models = self.models
+                    selected = [all_models[i] for i in members.tolist()]
+                rows = np.array(list(map(getter, selected)), dtype=np.float64)
+                columns = rows.T if rows.ndim == 2 else rows[np.newaxis, :]
+                peaks[members] = peaks_of(columns)
+                kernels.append((int(members[0]), cls, members, columns))
+                continue
+            # Unknown model class: per-model indexing, original semantics.
+            indices: list[int] = []
+            param_rows: list[tuple[float, ...]] = []
+            for index in members.tolist():
+                model = self.models[index]
+                if isinstance(model, TraceTraffic):
+                    self._trace_indices.append(index)
+                    continue
+                peaks[index] = float(model.peak_rate)
+                params = model.batch_params()
+                if params is None:
+                    self._fallback_indices.append(index)
+                else:
+                    indices.append(index)
+                    param_rows.append(params)
+            if indices:
+                group = np.asarray(indices, dtype=np.int64)
+                columns = np.array(param_rows, dtype=np.float64).T
+                kernels.append((int(group[0]), cls, group, columns))
+        self._trace_indices.sort()
+        self._fallback_indices.sort()
+        kernels.sort(key=lambda entry: entry[0])
         self._kernels: list[tuple[type, np.ndarray]] = []
-        for code, (cls, indices) in enumerate(grouped.items()):
-            members = np.asarray(indices, dtype=np.int64)
+        for code, (_, cls, members, columns) in enumerate(kernels):
             self._class_code[members] = code
             self._rank[members] = np.arange(members.shape[0])
-            columns = np.array(
-                [self.models[i].batch_params() for i in indices], dtype=np.float64
-            ).T
             self._kernels.append((cls, columns))
         self.thinning_peaks = peaks
 
@@ -786,21 +902,7 @@ class FleetTrafficSchedule:
         # Sort candidates within each function; gids is already grouped, so
         # the permutation only reorders inside groups and gids stays valid.
         times = times[np.lexsort((times, gids))]
-        rates = np.empty(total, dtype=float)
-        candidate_codes = self._class_code[gids]
-        for code, (cls, columns) in enumerate(self._kernels):
-            members = candidate_codes == code
-            if np.any(members):
-                rates[members] = cls.batch_rate(
-                    columns[:, self._rank[gids[members]]], times[members]
-                )
-        if self._fallback_indices:
-            candidate_offsets = np.zeros(n + 1, dtype=np.int64)
-            np.cumsum(counts, out=candidate_offsets[1:])
-            for i in self._fallback_indices:
-                a, b = int(candidate_offsets[i]), int(candidate_offsets[i + 1])
-                if b > a:
-                    rates[a:b] = self.models[i].rate(times[a:b])
+        rates = self._candidate_rates(gids, times, counts)
         accept = rng.random(total) * self.thinning_peaks[gids] < rates
         kept_times = times[accept]
         kept_gids = gids[accept]
@@ -813,7 +915,130 @@ class FleetTrafficSchedule:
             replay = self.models[i].arrivals(start_s, end_s, rng)
             if replay.shape[0]:
                 special[i] = replay
+        return self._assemble(
+            start_s, end_s, kept_times, kept_gids, kept_counts, special,
+            max_per_function,
+        )
 
+    def sample_window_keyed(
+        self,
+        start_s: float,
+        end_s: float,
+        rngs: list[np.random.Generator],
+        max_per_function: int | None = None,
+    ) -> FleetArrivals:
+        """Sample one window with per-function streams through the fused kernels.
+
+        Bit-identical to calling ``self.models[i].arrivals(start_s, end_s,
+        rngs[i])`` per function (the per-function-deterministic traffic
+        mode): every function draws its Poisson candidate count, its sorted
+        candidate uniforms and its thinning uniforms from its *own* stream,
+        in exactly :meth:`TrafficModel.arrivals` order — but the rate
+        evaluation that decides the thinning runs once through the batched
+        per-class kernels instead of one Python :meth:`~TrafficModel.rate`
+        call per function, and the window is assembled columnar.
+
+        Parameters
+        ----------
+        start_s / end_s:
+            The window ``[start, end)``.
+        rngs:
+            One generator per fleet function (e.g. from
+            :func:`repro.simulation.seeding.keyed_child_rngs`); each is
+            consumed exactly as :meth:`TrafficModel.arrivals` would.
+        max_per_function:
+            Optional per-function arrival cap (same ``linspace`` subsampling
+            as the reference path, applied after thinning).
+        """
+        start_s, end_s = _require_window(start_s, end_s)
+        duration = end_s - start_s
+        n = self.n_functions
+        if len(rngs) != n:
+            raise ConfigurationError(
+                f"got {len(rngs)} streams for {n} scheduled traffic models"
+            )
+        peaks = self.thinning_peaks
+        counts = np.zeros(n, dtype=np.int64)
+        trace_members = set(self._trace_indices)
+        time_parts: list[np.ndarray] = []
+        uniform_parts: list[np.ndarray] = []
+        for i in range(n):
+            if i in trace_members:
+                continue  # replay is exact and never consumes its stream
+            rng = rngs[i]
+            peak = peaks[i]
+            c = int(rng.poisson(peak * duration))
+            if c == 0:
+                continue
+            counts[i] = c
+            time_parts.append(np.sort(rng.uniform(start_s, end_s, c)))
+            uniform_parts.append(rng.uniform(0.0, peak, c))
+        if time_parts:
+            times = np.concatenate(time_parts)
+            uniforms = np.concatenate(uniform_parts)
+        else:
+            times = np.empty(0, dtype=float)
+            uniforms = np.empty(0, dtype=float)
+        gids = np.repeat(np.arange(n, dtype=np.int64), counts)
+        rates = self._candidate_rates(gids, times, counts)
+        accept = uniforms < rates
+        kept_times = times[accept]
+        kept_gids = gids[accept]
+        kept_counts = np.bincount(kept_gids, minlength=n).astype(np.int64)
+        special: dict[int, np.ndarray] = {}
+        for i in self._trace_indices:
+            replay = self.models[i].arrivals(start_s, end_s, rngs[i])
+            if replay.shape[0]:
+                special[i] = replay
+        return self._assemble(
+            start_s, end_s, kept_times, kept_gids, kept_counts, special,
+            max_per_function,
+        )
+
+    def _candidate_rates(
+        self, gids: np.ndarray, times: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        """Evaluate every candidate's rate through the batched class kernels.
+
+        ``gids``/``times`` are the window's candidates grouped by function
+        (``counts`` per function); models without a kernel evaluate
+        :meth:`~TrafficModel.rate` on their contiguous candidate slice —
+        both bit-identical to per-model evaluation.
+        """
+        rates = np.empty(times.shape[0], dtype=float)
+        candidate_codes = self._class_code[gids]
+        for code, (cls, columns) in enumerate(self._kernels):
+            members = candidate_codes == code
+            if np.any(members):
+                rates[members] = cls.batch_rate(
+                    columns[:, self._rank[gids[members]]], times[members]
+                )
+        if self._fallback_indices:
+            candidate_offsets = np.zeros(counts.shape[0] + 1, dtype=np.int64)
+            np.cumsum(counts, out=candidate_offsets[1:])
+            for i in self._fallback_indices:
+                a, b = int(candidate_offsets[i]), int(candidate_offsets[i + 1])
+                if b > a:
+                    rates[a:b] = self.models[i].rate(times[a:b])
+        return rates
+
+    def _assemble(
+        self,
+        start_s: float,
+        end_s: float,
+        kept_times: np.ndarray,
+        kept_gids: np.ndarray,
+        kept_counts: np.ndarray,
+        special: dict[int, np.ndarray],
+        max_per_function: int | None,
+    ) -> FleetArrivals:
+        """Assemble the window's columnar arrivals from the thinned candidates.
+
+        Applies the optional per-function cap (``linspace`` subsampling) and
+        splices the special segments (trace replays, capped functions) into
+        the thinned stream's columnar layout.
+        """
+        n = self.n_functions
         cap = max_per_function
         if cap is not None:
             kept_offsets = np.zeros(n + 1, dtype=np.int64)

@@ -35,6 +35,7 @@ from repro.simulation.seeding import (
     STREAM_EXECUTION,
     child_rng,
     child_seed_sequence,
+    keyed_child_rngs,
     spawn_child_rngs,
 )
 from repro.workloads.generator import GeneratorConfig, SyntheticFunctionGenerator
@@ -85,6 +86,72 @@ class TestSeeding:
     def test_seed_sequence_key_structure(self):
         sequence = child_seed_sequence(1, STREAM_ARRIVALS, 2, 3)
         assert sequence.spawn_key == (STREAM_ARRIVALS, 2, 3)
+
+    # ------------------------------------------------- keyed O(active) path
+    @pytest.mark.parametrize(
+        "base_seed, stream, prefix",
+        [
+            (0, STREAM_ARRIVALS, ()),
+            (9, STREAM_EXECUTION, (4,)),
+            (1234, STREAM_EXECUTION, (0, 3)),
+            (2**96 + 5, STREAM_ARRIVALS, (7,)),
+        ],
+    )
+    def test_keyed_bit_identical_to_spawn(self, base_seed, stream, prefix):
+        keyed = keyed_child_rngs(base_seed, stream, *prefix, indices=np.arange(8))
+        spawned = spawn_child_rngs(base_seed, stream, *prefix, n=8)
+        for keyed_rng, spawned_rng in zip(keyed, spawned):
+            np.testing.assert_array_equal(
+                keyed_rng.standard_normal(6), spawned_rng.standard_normal(6)
+            )
+
+    def test_keyed_matches_child_rng_on_arbitrary_subsets(self):
+        indices = np.array([0, 3, 17, 999, 2**31, 2**32 - 1])
+        keyed = keyed_child_rngs(5, STREAM_EXECUTION, 7, indices=indices)
+        for index, keyed_rng in zip(indices, keyed):
+            expected = child_rng(5, STREAM_EXECUTION, 7, int(index))
+            np.testing.assert_array_equal(
+                keyed_rng.standard_normal(4), expected.standard_normal(4)
+            )
+
+    def test_keyed_across_window_prefixes(self):
+        for window_index in range(5):
+            keyed = keyed_child_rngs(
+                3, STREAM_EXECUTION, window_index, indices=np.array([2, 11])
+            )
+            for index, keyed_rng in zip((2, 11), keyed):
+                expected = child_rng(3, STREAM_EXECUTION, window_index, index)
+                np.testing.assert_array_equal(
+                    keyed_rng.uniform(size=3), expected.uniform(size=3)
+                )
+
+    def test_keyed_empty_indices(self):
+        empty = np.array([], dtype=np.int64)
+        assert keyed_child_rngs(1, STREAM_EXECUTION, indices=empty) == []
+
+    def test_keyed_out_of_range_indices_fall_back_and_match(self):
+        # Beyond uint32 the vectorized phase cannot represent the spawn-key
+        # word; the transparent fallback must still be bit-identical.
+        indices = np.array([1, 2**32, 2**40 + 3])
+        keyed = keyed_child_rngs(4, STREAM_ARRIVALS, indices=indices)
+        for index, keyed_rng in zip(indices, keyed):
+            expected = child_rng(4, STREAM_ARRIVALS, int(index))
+            np.testing.assert_array_equal(
+                keyed_rng.standard_normal(3), expected.standard_normal(3)
+            )
+
+    def test_keyed_fallback_path_bit_identical(self, monkeypatch):
+        # Simulate numpy-internals drift: the self-check fails and every call
+        # must route through the reference child_rng loop, same results.
+        import repro.simulation.seeding as seeding
+
+        monkeypatch.setattr(seeding, "_KEYED_FAST_PATH", False)
+        keyed = seeding.keyed_child_rngs(6, STREAM_EXECUTION, 2, indices=np.arange(4))
+        for index, keyed_rng in enumerate(keyed):
+            expected = child_rng(6, STREAM_EXECUTION, 2, index)
+            np.testing.assert_array_equal(
+                keyed_rng.standard_normal(3), expected.standard_normal(3)
+            )
 
 
 class TestGroupedStatBlocks:

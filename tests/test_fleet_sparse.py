@@ -31,6 +31,7 @@ from repro.fleet import (
     SparseFleetWindow,
 )
 from repro.simulation.engine import get_backend
+from repro.simulation.seeding import STREAM_EXECUTION, STREAM_TRAFFIC
 from repro.workloads.generator import GeneratorConfig, SyntheticFunctionGenerator
 from repro.workloads.traffic import (
     BurstyTraffic,
@@ -206,6 +207,68 @@ class TestZeroArrivalFunctionsSkipEngine:
         assert sparse_sim.run_window().n_active == 0
 
 
+class TestKeyedSeedingCost:
+    """Stream derivation must be O(active): idle functions never cost a stream.
+
+    Regression guard for the former >=25%-active heuristic, which silently
+    spawned the whole fleet's execution streams once a quarter of it was
+    active in a window.
+    """
+
+    def _spy_keyed(self, monkeypatch):
+        import repro.fleet.simulator as simulator_module
+
+        calls: list[tuple[int, np.ndarray]] = []
+        real = simulator_module.keyed_child_rngs
+
+        def wrapper(base_seed, stream, *prefix, indices):
+            calls.append((stream, np.asarray(indices).copy()))
+            return real(base_seed, stream, *prefix, indices=indices)
+
+        monkeypatch.setattr(simulator_module, "keyed_child_rngs", wrapper)
+        return calls
+
+    def test_execution_seeding_covers_exactly_the_active_set(self, monkeypatch):
+        functions, traffic = _mixed_fleet(18)
+        simulator = FleetSimulator(
+            functions, traffic, config=FleetConfig(window_s=WINDOW_S, seed=9)
+        )
+        calls = self._spy_keyed(monkeypatch)
+        window = simulator.run_window()
+        active = np.flatnonzero(window.n_arrivals)
+        assert 0 < active.shape[0] < len(functions)
+        execution_calls = [idx for stream, idx in calls if stream == STREAM_EXECUTION]
+        assert len(execution_calls) == 1
+        np.testing.assert_array_equal(execution_calls[0], active)
+        # Fused traffic sampling draws the fleet from ONE window stream:
+        # no per-function traffic streams are derived at all.
+        assert not any(stream == STREAM_TRAFFIC for stream, _ in calls)
+
+    def test_no_full_fleet_derivation_when_most_functions_active(self, monkeypatch):
+        n = 12
+        functions, _ = _mixed_fleet(n)
+        traffic = [ConstantTraffic(rate_rps=0.05) for _ in range(n - 1)] + [
+            TraceTraffic(timestamps_s=(1e9,))
+        ]
+        simulator = FleetSimulator(
+            functions,
+            traffic,
+            config=FleetConfig(
+                window_s=WINDOW_S, seed=10, traffic_mode="per-function"
+            ),
+        )
+        calls = self._spy_keyed(monkeypatch)
+        window = simulator.run_window()
+        active = np.flatnonzero(window.n_arrivals)
+        # The scenario really is in the former heuristic's spawn-everything
+        # regime, and the idle trace function stays excluded regardless.
+        assert active.shape[0] * 4 >= n
+        assert active.shape[0] < n
+        execution_calls = [idx for stream, idx in calls if stream == STREAM_EXECUTION]
+        assert len(execution_calls) == 1
+        np.testing.assert_array_equal(execution_calls[0], active)
+
+
 class TestExecutionPathParity:
     def test_fused_equals_looped_under_fused_traffic(self):
         functions, traffic = _mixed_fleet(18)
@@ -364,6 +427,26 @@ class TestCohortDeduplication:
         assert cohort_sim.platform.total_cost_usd() == pytest.approx(
             cohort.total_cost_usd, rel=1e-9
         )
+
+    def test_equal_valued_distinct_profile_objects_cohort_together(self):
+        # Regression: the cohort key once used id(profile), so value-equal
+        # profiles rebuilt as distinct objects (fresh processes, shards,
+        # deserialized fleets) silently fell out of their cohorts.
+        import copy
+
+        functions, traffic = self._replicated_fleet(12)
+        rebuilt = [
+            replace(fn, profile=copy.deepcopy(fn.profile)) for fn in functions
+        ]
+        assert all(
+            a.profile is not b.profile and a.profile == b.profile
+            for a, b in zip(functions, rebuilt)
+        )
+        config = FleetConfig(window_s=WINDOW_S, seed=9, cohort_mode="statistical")
+        shared_sim = FleetSimulator(functions, traffic, config)
+        rebuilt_sim = FleetSimulator(rebuilt, traffic, config)
+        for _ in range(2):
+            _assert_windows_equal(shared_sim.run_window(), rebuilt_sim.run_window())
 
     def test_distinct_profiles_never_cohorted(self):
         functions, traffic = _mixed_fleet(12)

@@ -131,6 +131,33 @@ class TestServerlessPlatform:
         with pytest.raises(ConfigurationError):
             restricted.deploy("f", profile, 300)
 
+    def test_deploy_many_matches_individual_deploys(self, platform, cpu_function, service_function):
+        names = [cpu_function.name, service_function.name]
+        profiles = [cpu_function.profile, service_function.profile]
+        deployments = platform.deploy_many(names, profiles, 512)
+        assert [d.name for d in deployments] == names
+        for deployment, profile in zip(deployments, profiles):
+            assert platform.get_function(deployment.name) is deployment
+            assert deployment.profile is profile
+            assert deployment.memory_mb == 512.0
+        record = platform.invoke(cpu_function.name, at_time_s=0.0)
+        assert record.result.cold_start is True
+
+    def test_deploy_many_validates_inputs(self, platform, cpu_function):
+        with pytest.raises(ConfigurationError):
+            platform.deploy_many([cpu_function.name], [], 512)
+        with pytest.raises(ConfigurationError):
+            platform.deploy_many([""], [cpu_function.profile], 512)
+        with pytest.raises(ConfigurationError):
+            platform.deploy_many([cpu_function.name], [cpu_function.profile], -64)
+
+    def test_deploy_many_redeployment_drops_warm_instances(self, platform, cpu_function):
+        platform.deploy(cpu_function.name, cpu_function.profile, 512)
+        platform.invoke(cpu_function.name, at_time_s=0.0)
+        assert platform.warm_instance_count(cpu_function.name) >= 1
+        platform.deploy_many([cpu_function.name], [cpu_function.profile], 512)
+        assert platform.warm_instance_count(cpu_function.name) == 0
+
     def test_set_memory_size_drops_warm_instances(self, platform, cpu_function):
         platform.deploy(cpu_function.name, cpu_function.profile, 512)
         platform.invoke(cpu_function.name, at_time_s=0.0)

@@ -284,6 +284,36 @@ class TestFleetTrafficSchedule:
         expected = fleet_mean_rates(models, 0.0, 3_600.0) * 3_600.0
         np.testing.assert_allclose(totals / n_rounds, expected, rtol=0.05)
 
+    def test_sample_window_keyed_matches_per_model_arrivals(self):
+        models = _one_of_each_model()
+        schedule = FleetTrafficSchedule(models)
+        start_s, end_s = self.WINDOW
+        rngs = [np.random.default_rng(1000 + i) for i in range(len(models))]
+        arrivals = schedule.sample_window_keyed(start_s, end_s, rngs)
+        for i, model in enumerate(models):
+            expected = model.arrivals(
+                start_s, end_s, np.random.default_rng(1000 + i)
+            )
+            np.testing.assert_array_equal(arrivals.arrivals_of(i), expected)
+
+    def test_sample_window_keyed_cap_matches_reference_subsampling(self):
+        models = [
+            ConstantTraffic(rate_rps=1.0),
+            TraceTraffic(timestamps_s=tuple(float(t) for t in range(50))),
+        ]
+        schedule = FleetTrafficSchedule(models)
+        rngs = [np.random.default_rng(3), np.random.default_rng(4)]
+        arrivals = schedule.sample_window_keyed(0.0, 600.0, rngs, max_per_function=25)
+        assert np.array_equal(arrivals.counts(), [25, 25])
+        full = models[0].arrivals(0.0, 600.0, np.random.default_rng(3))
+        keep = np.linspace(0, full.shape[0] - 1, 25).astype(int)
+        np.testing.assert_array_equal(arrivals.arrivals_of(0), full[keep])
+
+    def test_sample_window_keyed_validates_stream_count(self):
+        schedule = FleetTrafficSchedule([ConstantTraffic(rate_rps=1.0)])
+        with pytest.raises(ConfigurationError):
+            schedule.sample_window_keyed(0.0, 10.0, [])
+
     def test_from_arrays_round_trips(self):
         per_function = [
             np.array([1.0, 2.0, 3.0]),
@@ -331,3 +361,43 @@ class TestWorkloadValidation:
                 Workload(**{field: float("nan")})
         with pytest.raises(ConfigurationError):
             Workload(duration_s=float("inf"))
+
+
+class TestDiurnalBatchBuild:
+    def test_value_equal_to_one_by_one_construction(self):
+        rng = np.random.default_rng(8)
+        means = rng.uniform(0.001, 0.1, 16)
+        amplitudes = rng.uniform(0.0, 0.9, 16)
+        phases = rng.uniform(0.0, 86_400.0, 16)
+        batched = DiurnalTraffic.batch_build(
+            mean_rate_rps=means, amplitude=amplitudes, phase_s=phases
+        )
+        for i, model in enumerate(batched):
+            reference = DiurnalTraffic(
+                mean_rate_rps=float(means[i]),
+                amplitude=float(amplitudes[i]),
+                phase_s=float(phases[i]),
+            )
+            assert model == reference
+            assert model.batch_params() == reference.batch_params()
+
+    def test_scalars_broadcast(self):
+        models = DiurnalTraffic.batch_build(
+            mean_rate_rps=np.array([0.1, 0.2]), amplitude=0.3, phase_s=5.0
+        )
+        assert [m.amplitude for m in models] == [0.3, 0.3]
+        assert [m.period_s for m in models] == [86_400.0, 86_400.0]
+
+    def test_validation_matches_the_scalar_constructor(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalTraffic.batch_build(mean_rate_rps=np.array([0.1, 0.0]))
+        with pytest.raises(ConfigurationError):
+            DiurnalTraffic.batch_build(mean_rate_rps=np.array([0.1]), amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalTraffic.batch_build(
+                mean_rate_rps=np.array([0.1]), phase_s=float("nan")
+            )
+        with pytest.raises(ConfigurationError):
+            DiurnalTraffic.batch_build(
+                mean_rate_rps=np.array([0.1]), period_s=np.array([-1.0])
+            )

@@ -74,6 +74,21 @@ class TestFunctionSpec:
         spec_b = FunctionSpec("f", cpu_profile, (("prime_numbers", 1.5),))
         assert spec_a.structure_hash() != spec_b.structure_hash()
 
+    def test_with_name_shares_validated_fields(self, cpu_profile):
+        spec = FunctionSpec("f", cpu_profile, (("prime_numbers", 1.0),), application="demo")
+        copy = spec.with_name("g")
+        assert copy.name == "g"
+        assert copy.profile is spec.profile
+        assert copy.segments is spec.segments
+        assert copy.application == spec.application
+        assert spec.name == "f"  # original untouched
+        assert copy == FunctionSpec("g", cpu_profile, (("prime_numbers", 1.0),), application="demo")
+
+    def test_with_name_rejects_empty_name(self, cpu_profile):
+        spec = FunctionSpec("f", cpu_profile)
+        with pytest.raises(WorkloadError):
+            spec.with_name("")
+
     def test_describe(self, cpu_profile):
         spec = FunctionSpec("f", cpu_profile, (("file_read", 1.0),), application="demo")
         description = spec.describe()
